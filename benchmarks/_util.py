@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one experiment of DESIGN.md / EXPERIMENTS.md.  In
+addition to the wall-clock numbers collected by ``pytest-benchmark``, each
+harness assembles a table of *model* quantities (PRAM rounds, Brent-scheduled
+time, work, modelled competitor costs) and writes it to
+``benchmarks/results/<experiment>.md`` so the rows quoted in EXPERIMENTS.md
+can be regenerated verbatim with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.analysis import format_markdown_table, format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def write_result_table(experiment_id: str, title: str,
+                       rows: Sequence[Dict], columns: Sequence[str] = None) -> str:
+    """Write the experiment's table to ``benchmarks/results`` and return it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = f"# {experiment_id}: {title}\n\n" + \
+        format_markdown_table(rows, columns) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.md")
+    with open(path, "w", encoding="utf8") as fh:
+        fh.write(text)
+    # also echo a fixed-width version (visible with `pytest -s`)
+    print()
+    print(format_table(rows, columns, title=f"[{experiment_id}] {title}"))
+    return text

@@ -1,0 +1,90 @@
+"""A2 — ablation of the dummy-vertex / legalisation machinery (Step 6).
+
+Skipping the exchange step leaves *illegal* insert vertices next to bridge
+vertices of the same 1-node; after dummy removal those adjacencies are not
+edges of the graph.  The harness counts how many invalid adjacencies appear
+without legalisation and verifies the full pipeline produces none.
+"""
+
+import pytest
+
+from repro.cograph import CographAdjacencyOracle, random_cotree
+from repro.core import (
+    binarize_parallel,
+    build_pseudo_forest,
+    extract_paths,
+    generate_brackets,
+    leftist_reorder,
+    legalize_forest,
+    minimum_path_cover_parallel,
+    reduce_cotree,
+    remove_dummies,
+)
+
+from _util import write_result_table
+
+
+def run_pipeline(tree, *, legalize: bool):
+    m = None
+    lf = leftist_reorder(m, binarize_parallel(m, tree))
+    red = reduce_cotree(m, lf)
+    seq = generate_brackets(m, red)
+    forest = build_pseudo_forest(m, seq)
+    exchanges = 0
+    if legalize:
+        forest, exchanges = legalize_forest(m, forest, red)
+    forest = remove_dummies(m, forest)
+    cover = extract_paths(m, forest)
+    return cover, exchanges
+
+
+def count_invalid_adjacencies(tree, cover) -> int:
+    oracle = CographAdjacencyOracle(tree)
+    bad = 0
+    for path in cover.paths:
+        for a, b in zip(path, path[1:]):
+            if not oracle.adjacent(a, b):
+                bad += 1
+    return bad
+
+
+CONFIGS = [(80, seed, 0.3) for seed in range(8)] + \
+          [(200, seed, 0.25) for seed in range(4)]
+
+
+@pytest.mark.parametrize("n", [200])
+def test_dummies_ablation_wallclock(benchmark, n):
+    tree = random_cotree(n, seed=0, join_prob=0.25)
+    benchmark(lambda: run_pipeline(tree, legalize=True))
+
+
+def test_dummies_ablation_table(benchmark):
+    rows = []
+    total_without = 0
+    for n, seed, jp in CONFIGS:
+        tree = random_cotree(n, seed=seed, join_prob=jp)
+        cover_with, exchanges = run_pipeline(tree, legalize=True)
+        cover_without, _ = run_pipeline(tree, legalize=False)
+        bad_with = count_invalid_adjacencies(tree, cover_with)
+        bad_without = count_invalid_adjacencies(tree, cover_without)
+        total_without += bad_without
+        rows.append({
+            "n": n, "seed": seed, "join prob": jp,
+            "exchanges performed": exchanges,
+            "invalid adjacencies (full)": bad_with,
+            "invalid adjacencies (no Step 6)": bad_without,
+        })
+        assert bad_with == 0
+    write_result_table("A2", "ablation: skipping dummy legalisation", rows)
+
+    # across the sweep the ablated pipeline must actually break somewhere,
+    # otherwise Step 6 would be dead weight
+    assert total_without > 0
+
+    # and the real solver stays clean end-to-end
+    tree = random_cotree(300, seed=99, join_prob=0.3)
+    result = minimum_path_cover_parallel(tree, validate=True)
+    assert result.exchanges >= 0
+
+    benchmark(lambda: run_pipeline(random_cotree(200, seed=1, join_prob=0.25),
+                                   legalize=True))

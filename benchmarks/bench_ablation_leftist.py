@@ -1,0 +1,94 @@
+"""A1 — ablation of the leftist condition.
+
+The 1-node recurrence ``p(u) = max(p(v) − L(w), 1)`` produces the *minimum*
+cover only when the left subtree is the leaf-heavier one.  This harness
+evaluates the same recurrence with the leftist reordering switched off on
+adversarial joins and quantifies how far from the optimum it lands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cograph import (
+    JOIN,
+    LEAF,
+    UNION,
+    binarize_cotree,
+    independent_set,
+    join_cotrees,
+    make_leftist,
+    minimum_path_cover_size,
+    random_cotree,
+    single_vertex,
+)
+
+from _util import write_result_table
+
+
+def recurrence_without_leftist(binary) -> int:
+    """Evaluate the Lemma 2.4 recurrence on the tree *as given* (no swap)."""
+    L = binary.subtree_leaf_counts()
+    p = np.zeros(binary.num_nodes, dtype=np.int64)
+    for u in binary.postorder():
+        k = binary.kind[u]
+        if k == LEAF:
+            p[u] = 1
+        elif k == UNION:
+            p[u] = p[binary.left[u]] + p[binary.right[u]]
+        else:
+            p[u] = max(p[binary.left[u]] - L[binary.right[u]], 1)
+    return int(p[binary.root])
+
+
+def skewed_join(k: int):
+    """join(K1, I_k) written with the single vertex first, so the non-leftist
+    evaluation sees the small side on the left."""
+    return join_cotrees(single_vertex(0),
+                        independent_set(k).relabel_vertices(
+                            {i: i + 1 for i in range(k)}))
+
+
+@pytest.mark.parametrize("k", [8, 64])
+def test_leftist_ablation_wallclock(benchmark, k):
+    tree = skewed_join(k)
+    binary = binarize_cotree(tree)
+    benchmark(lambda: (recurrence_without_leftist(binary),
+                       minimum_path_cover_size(tree)))
+
+
+def test_leftist_ablation_table(benchmark):
+    rows = []
+    for k in (4, 8, 16, 32, 64, 128):
+        tree = skewed_join(k)
+        binary = binarize_cotree(tree)
+        without = recurrence_without_leftist(binary)
+        with_leftist = recurrence_without_leftist(make_leftist(binary))
+        optimum = minimum_path_cover_size(tree)
+        rows.append({
+            "instance": f"join(K1, I{k})", "n": k + 1,
+            "optimum": optimum,
+            "recurrence with leftist": with_leftist,
+            "recurrence without leftist": without,
+            "claimed-vs-true gap": without - optimum,
+        })
+        assert with_leftist == optimum
+        # the non-leftist evaluation claims a Hamiltonian path that does not
+        # exist (a star has k leaves and needs k-1 paths)
+        assert without == 1
+        assert optimum == k - 1
+
+    # random cotrees: the non-leftist recurrence under-counts whenever the
+    # binarizer happens to put a heavy subtree on the right
+    mismatches = 0
+    for seed in range(30):
+        tree = random_cotree(40, seed=seed, join_prob=0.6)
+        binary = binarize_cotree(tree)
+        if recurrence_without_leftist(binary) != minimum_path_cover_size(tree):
+            mismatches += 1
+    rows.append({"instance": "random n=40 (30 seeds)", "n": 40,
+                 "optimum": "-", "recurrence with leftist": "always equal",
+                 "recurrence without leftist": f"{mismatches} wrong answers",
+                 "claimed-vs-true gap": "-"})
+    write_result_table("A1", "ablation: dropping the leftist condition", rows)
+
+    benchmark(lambda: minimum_path_cover_size(skewed_join(128)))

@@ -1,0 +1,71 @@
+"""A3 — ablation of the work-efficient primitives: Wyllie pointer jumping vs
+contraction-based list ranking.
+
+Both are Theta(log n) rounds; the difference is the work (Theta(n log n) vs
+Theta(n)), which is exactly the gap between a merely time-optimal and a
+work-optimal pipeline.  The same toggle is exposed on the solver
+(``work_efficient=``), and its end-to-end effect is reported too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import log2ceil, loglog_slope
+from repro.cograph import random_cotree
+from repro.core import minimum_path_cover_parallel
+from repro.pram import PRAM
+from repro.primitives import wyllie_list_ranking, work_efficient_list_ranking
+
+from _util import write_result_table
+
+SIZES = [256, 1024, 4096, 16384, 65536]
+
+
+def random_list(n, seed=0):
+    order = np.random.default_rng(seed).permutation(n)
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    return succ
+
+
+@pytest.mark.parametrize("variant", ["wyllie", "work-efficient"])
+def test_list_ranking_wallclock(benchmark, variant):
+    succ = random_list(16384)
+    fn = wyllie_list_ranking if variant == "wyllie" else work_efficient_list_ranking
+    benchmark(lambda: fn(None, succ))
+
+
+def test_list_ranking_work_gap_table(benchmark):
+    rows = []
+    ratios = []
+    for n in SIZES:
+        succ = random_list(n)
+        m_w, m_e = PRAM(), PRAM()
+        a = wyllie_list_ranking(m_w, succ)
+        b = work_efficient_list_ranking(m_e, succ, seed=1)
+        assert np.array_equal(a, b)
+        ratio = m_w.work / m_e.work
+        ratios.append(ratio)
+        rows.append({
+            "n": n,
+            "Wyllie rounds": m_w.rounds, "Wyllie work": m_w.work,
+            "work-eff. rounds": m_e.rounds, "work-eff. work": m_e.work,
+            "work ratio": round(ratio, 2),
+            "log2 n": log2ceil(n),
+        })
+    write_result_table("A3", "ablation: Wyllie vs work-efficient list ranking",
+                       rows)
+
+    # the ratio grows with n (it tracks log n), i.e. Wyllie is not work-optimal
+    assert ratios[-1] > 1.5 * ratios[0]
+    # work-efficient variant's work is near-linear
+    assert loglog_slope(SIZES, [r["work-eff. work"] for r in rows]) < 1.15
+
+    # end-to-end effect on the solver
+    tree = random_cotree(2048, seed=5, join_prob=0.5)
+    fast = minimum_path_cover_parallel(tree, work_efficient=True)
+    slow = minimum_path_cover_parallel(tree, work_efficient=False)
+    assert fast.num_paths == slow.num_paths
+    assert slow.report.work > fast.report.work
+
+    benchmark(lambda: work_efficient_list_ranking(None, random_list(4096)))

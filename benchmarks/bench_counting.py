@@ -1,0 +1,73 @@
+"""E3 — Lemma 2.4: p(u) for every node in O(log n) time and O(n) work by
+tree contraction, on both random and degenerate (caterpillar) cotrees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_model, log2ceil
+from repro.cograph import (
+    binarize_cotree,
+    caterpillar_cotree,
+    make_leftist,
+    path_cover_sizes_per_node,
+    random_cotree,
+)
+from repro.pram import PRAM
+from repro.primitives import evaluate_max_plus_tree
+
+from _util import write_result_table
+
+SIZES = [128, 256, 512, 1024, 2048, 4096]
+
+
+def count_paths(binary, machine):
+    L = binary.subtree_leaf_counts()
+    jc = np.zeros(binary.num_nodes, dtype=np.int64)
+    jc[binary.internal_nodes] = L[binary.right[binary.internal_nodes]]
+    return evaluate_max_plus_tree(machine, binary.left, binary.right,
+                                  binary.parent, binary.root, binary.kind, jc,
+                                  np.ones(binary.num_nodes, dtype=np.int64))
+
+
+@pytest.mark.parametrize("family", ["random", "caterpillar"])
+def test_counting_wallclock(benchmark, family):
+    n = 2048
+    tree = (caterpillar_cotree(n) if family == "caterpillar"
+            else random_cotree(n, seed=n))
+    binary = make_leftist(binarize_cotree(tree))
+    result = benchmark(lambda: count_paths(binary, None))
+    assert np.array_equal(result, path_cover_sizes_per_node(binary))
+
+
+def test_lemma_2_4_scaling_table(benchmark):
+    rows = []
+    for family in ("random", "caterpillar"):
+        for n in SIZES:
+            tree = (caterpillar_cotree(n) if family == "caterpillar"
+                    else random_cotree(n, seed=n, join_prob=0.5))
+            binary = make_leftist(binarize_cotree(tree))
+            machine = PRAM()
+            count_paths(binary, machine)
+            rows.append({
+                "family": family, "n": n,
+                "rounds": machine.rounds,
+                "rounds/log2(n)": round(machine.rounds / log2ceil(n), 2),
+                "work": machine.work,
+                "work/n": round(machine.work / n, 2),
+            })
+    write_result_table("E3", "Lemma 2.4 — p(u) by parallel tree contraction",
+                       rows)
+
+    for family in ("random", "caterpillar"):
+        fam_rows = [r for r in rows if r["family"] == family]
+        sizes = [r["n"] for r in fam_rows]
+        fit_r = best_model(sizes, [r["rounds"] for r in fam_rows],
+                           models=["1", "log n", "log^2 n", "sqrt n", "n"])
+        fit_w = best_model(sizes, [r["work"] for r in fam_rows],
+                           models=["n", "n log n", "n^2"])
+        assert fit_r.model in ("log n", "1"), family
+        assert fit_w.model == "n", family
+
+    benchmark(lambda: count_paths(
+        make_leftist(binarize_cotree(random_cotree(2048, seed=3))), None))

@@ -1,0 +1,67 @@
+"""E6 — Hamiltonian path / cycle queries with the same bounds (Section 1
+corollary), swept across the p(v) = L(w) crossover of complete multipartite
+graphs where Hamiltonicity switches on.
+"""
+
+import pytest
+
+from repro.cograph import (
+    CographAdjacencyOracle,
+    join_of_independent_sets,
+    minimum_path_cover_size,
+    random_cotree,
+)
+from repro.core import (
+    hamiltonian_cycle,
+    hamiltonian_path,
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+    minimum_path_cover_parallel,
+)
+
+from _util import write_result_table
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+def test_hamiltonian_path_wallclock(benchmark, n):
+    tree = join_of_independent_sets([n // 2, n // 2])
+    path = benchmark(lambda: hamiltonian_path(tree))
+    assert path is not None and len(path) == tree.num_vertices
+
+
+def test_hamiltonicity_crossover_table(benchmark):
+    """Sweep join(I_a, I_b) with a + b = 64: the paper's machinery pinpoints
+    the crossover at a = b (cycle) / a = b + 1 (path but no cycle)."""
+    rows = []
+    total = 64
+    for a in range(32, 43):
+        b = total - a
+        tree = join_of_independent_sets([a, b])
+        p = minimum_path_cover_size(tree)
+        hp = has_hamiltonian_path(tree)
+        hc = has_hamiltonian_cycle(tree)
+        rows.append({
+            "larger side a": a, "smaller side b": b,
+            "min path cover": p,
+            "hamiltonian path": hp, "hamiltonian cycle": hc,
+        })
+        # independent analytic expectations
+        assert p == max(1, a - b)
+        assert hp == (a - b <= 1)
+        assert hc == (a <= b)
+    write_result_table(
+        "E6", "Hamiltonicity crossover on complete bipartite graphs (n = 64)",
+        rows)
+
+    # witnesses on a couple of instances
+    tree = join_of_independent_sets([32, 32])
+    cycle = hamiltonian_cycle(tree)
+    oracle = CographAdjacencyOracle(tree)
+    assert cycle is not None and oracle.path_is_valid(cycle) \
+        and oracle.adjacent(cycle[0], cycle[-1])
+
+    tree2 = random_cotree(512, seed=7, join_prob=0.8)
+    result = minimum_path_cover_parallel(tree2)
+    assert (result.num_paths == 1) == has_hamiltonian_path(tree2)
+
+    benchmark(lambda: hamiltonian_path(join_of_independent_sets([512, 512])))

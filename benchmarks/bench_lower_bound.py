@@ -1,0 +1,78 @@
+"""E1 — Theorem 2.2 / Fig. 2: the Omega(log n) CREW lower bound.
+
+The lower bound itself is an impossibility statement and cannot be "measured";
+what the harness shows is the two sides the proof connects:
+
+* the reduction: OR instances become path-cover instances whose answer decides
+  OR, and the construction itself is O(1) depth;
+* the matching upper bound: the balanced fan-in OR takes ceil(log2 n) rounds
+  on an exclusive-read machine, while on a common-CRCW machine (where
+  Cook-Dwork-Reischuk does not apply) the same problem takes one round —
+  locating exactly where the model assumption bites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_model, log2ceil
+from repro.cograph import minimum_path_cover_size
+from repro.core import (
+    expected_path_count,
+    minimum_path_cover_parallel,
+    or_from_cover,
+    or_from_path_count,
+    or_instance_cotree,
+    parallel_or_rounds,
+)
+from repro.pram import PRAM, AccessMode
+
+from _util import write_result_table
+
+SIZES = [16, 64, 256, 1024, 4096, 16384, 65536, 262144]
+
+
+@pytest.mark.parametrize("n", [1024, 65536])
+def test_or_fanin_wallclock(benchmark, n):
+    rng = np.random.default_rng(n)
+    bits = rng.integers(0, 2, size=n)
+    result = benchmark(lambda: parallel_or_rounds(PRAM(mode=AccessMode.EREW), bits))
+    assert result == int(bits.any())
+
+
+def test_theorem_2_2_lower_bound_table(benchmark):
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in SIZES:
+        bits = (rng.random(n) < 0.3).astype(int)
+        erew = PRAM(mode=AccessMode.EREW)
+        crcw = PRAM(mode=AccessMode.CRCW_COMMON)
+        assert parallel_or_rounds(erew, bits) == int(bits.any())
+        assert parallel_or_rounds(crcw, bits) == int(bits.any())
+        rows.append({
+            "n": n,
+            "EREW/CREW rounds": erew.rounds,
+            "ceil(log2 n)": log2ceil(n),
+            "CRCW rounds": crcw.rounds,
+        })
+    fit = best_model([r["n"] for r in rows],
+                     [r["EREW/CREW rounds"] for r in rows],
+                     models=["1", "log n", "sqrt n", "n"])
+    rows.append({"n": "fit", "EREW/CREW rounds": f"~ {fit.model}",
+                 "ceil(log2 n)": "", "CRCW rounds": "~ 1"})
+    write_result_table(
+        "E1", "Theorem 2.2 — OR reduction and the log n round barrier", rows)
+
+    assert fit.model == "log n"
+    assert all(r["CRCW rounds"] == 1 for r in rows[:-1])
+
+    # reduction round-trip on a moderate instance: solving the path-cover
+    # instance decides OR both via the count and via the reported cover.
+    bits = (rng.random(64) < 0.2).astype(int)
+    inst = or_instance_cotree(bits)
+    assert minimum_path_cover_size(inst.cotree) == expected_path_count(bits)
+    result = minimum_path_cover_parallel(inst.cotree)
+    assert or_from_path_count(result.num_paths, len(bits)) == int(bits.any())
+    assert or_from_cover(result.cover, inst) == int(bits.any())
+
+    benchmark(lambda: parallel_or_rounds(PRAM(mode=AccessMode.EREW),
+                                         (rng.random(4096) < 0.3).astype(int)))

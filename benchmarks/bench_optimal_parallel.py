@@ -1,0 +1,76 @@
+"""E4 — Theorem 5.3: the full parallel solver runs in O(log n) simulated time
+with n/log n EREW processors and O(n)-ish work.
+
+Regenerates the headline scaling table: for growing n, the number of
+synchronous rounds, the Brent-scheduled time on ceil(n / log2 n) processors,
+the executed work, and the growth-model fits.
+"""
+
+import pytest
+
+from repro.analysis import best_model, compute_metrics, log2ceil, loglog_slope
+from repro.baselines import sequential_path_cover
+from repro.cograph import minimum_path_cover_size, random_cotree
+from repro.core import minimum_path_cover_parallel
+from repro.pram import optimal_processor_count
+
+from _util import write_result_table
+
+SIZES = [64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def solve(n: int, seed: int = 0, join_prob: float = 0.5):
+    tree = random_cotree(n, seed=seed + n, join_prob=join_prob)
+    return tree, minimum_path_cover_parallel(tree)
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_parallel_solver_wallclock(benchmark, n):
+    """Wall-clock of the simulated parallel solver (pytest-benchmark)."""
+    tree = random_cotree(n, seed=n, join_prob=0.5)
+    result = benchmark(lambda: minimum_path_cover_parallel(tree))
+    assert result.num_paths == minimum_path_cover_size(tree)
+
+
+def test_theorem_5_3_scaling_table(benchmark):
+    """The E4 table: rounds ~ log n, work ~ n, across a size sweep."""
+    rows = []
+    for n in SIZES:
+        tree, result = solve(n)
+        _, stats = sequential_path_cover(tree, return_stats=True)
+        metrics = compute_metrics(
+            n=n, parallel_time=result.report.time, work=result.report.work,
+            processors=optimal_processor_count(n),
+            sequential_time=stats.total_operations)
+        rows.append({
+            "n": n,
+            "processors": optimal_processor_count(n),
+            "rounds": result.report.rounds,
+            "time(p=n/log n)": result.report.time,
+            "work": result.report.work,
+            "work/n": round(metrics.work_per_n, 1),
+            "rounds/log2(n)": round(result.report.rounds / log2ceil(n), 1),
+            "paths": result.num_paths,
+        })
+    sizes = [r["n"] for r in rows]
+    rounds = [r["rounds"] for r in rows]
+    work = [r["work"] for r in rows]
+    rounds_fit = best_model(sizes, rounds, models=["1", "log n", "log^2 n",
+                                                   "sqrt n", "n"])
+    work_fit = best_model(sizes, work, models=["n", "n log n", "n^2"])
+    rows.append({"n": "fit", "processors": "",
+                 "rounds": f"~ {rounds_fit.model}",
+                 "time(p=n/log n)": "",
+                 "work": f"~ {work_fit.model}",
+                 "work/n": "", "rounds/log2(n)": "", "paths": ""})
+    write_result_table("E4", "Theorem 5.3 — optimal parallel path cover scaling",
+                       rows)
+
+    # the shape claims of the paper
+    assert rounds_fit.model in ("log n", "log^2 n")
+    assert loglog_slope(sizes, rounds) < 0.35          # far from polynomial
+    assert work_fit.model in ("n", "n log n")
+    assert loglog_slope(sizes, work) < 1.35            # far from quadratic
+
+    # one representative timing for the benchmark harness
+    benchmark(lambda: solve(1024))

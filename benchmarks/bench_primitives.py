@@ -1,0 +1,81 @@
+"""E8 — Lemma 5.1 / 5.2: every primitive in the toolbox runs in O(log n)
+rounds, and the work-efficient variants keep the work near-linear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_model, log2ceil
+from repro.cograph import binarize_cotree, make_leftist, random_cotree
+from repro.pram import PRAM
+from repro.primitives import (
+    build_euler_tour,
+    compute_tree_numbers,
+    match_brackets,
+    prefix_sum,
+    work_efficient_list_ranking,
+)
+
+from _util import write_result_table
+
+SIZES = [256, 1024, 4096, 16384]
+
+
+def random_list(n, seed=0):
+    order = np.random.default_rng(seed).permutation(n)
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    return succ
+
+
+def random_brackets(n, seed=0):
+    return np.random.default_rng(seed).random(n) < 0.5
+
+
+def tree_arrays(n, seed=0):
+    b = make_leftist(binarize_cotree(random_cotree(n, seed=seed)))
+    return b
+
+
+PRIMITIVES = {
+    "prefix sums": lambda m, n: prefix_sum(m, np.ones(n, dtype=np.int64)),
+    "list ranking (work-eff.)": lambda m, n: work_efficient_list_ranking(
+        m, random_list(n), seed=1),
+    "bracket matching": lambda m, n: match_brackets(m, random_brackets(n)),
+    "euler tour + numbering": lambda m, n: compute_tree_numbers(
+        m, *(lambda b: (b.left, b.right, b.parent, [b.root]))(tree_arrays(n))),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PRIMITIVES))
+def test_primitive_wallclock(benchmark, name):
+    fn = PRIMITIVES[name]
+    benchmark(lambda: fn(None, 4096))
+
+
+def test_primitive_round_scaling_table(benchmark):
+    rows = []
+    for name, fn in PRIMITIVES.items():
+        for n in SIZES:
+            m = PRAM()
+            fn(m, n)
+            rows.append({
+                "primitive": name, "n": n, "rounds": m.rounds,
+                "rounds/log2(n)": round(m.rounds / log2ceil(n), 2),
+                "work": m.work, "work/n": round(m.work / n, 2),
+            })
+    write_result_table("E8", "primitive toolbox round / work scaling", rows)
+
+    for name in PRIMITIVES:
+        sub = [r for r in rows if r["primitive"] == name]
+        sizes = [r["n"] for r in sub]
+        fit = best_model(sizes, [r["rounds"] for r in sub],
+                         models=["1", "log n", "log^2 n", "sqrt n", "n"])
+        assert fit.model in ("log n", "log^2 n", "1"), name
+        # work may carry a log factor for the sort-based bracket matcher; it
+        # must never look quadratic
+        wfit = best_model(sizes, [r["work"] for r in sub],
+                          models=["n", "n log n", "n^2"])
+        assert wfit.model in ("n", "n log n"), name
+
+    benchmark(lambda: prefix_sum(None, np.ones(16384, dtype=np.int64)))

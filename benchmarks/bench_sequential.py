@@ -1,0 +1,51 @@
+"""E2 — Lemma 2.3: the sequential algorithm runs in O(n) time.
+
+Measures both the operation counter of the implementation and wall-clock
+time across a geometric size sweep and fits growth models to each.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import best_model, loglog_slope
+from repro.baselines import sequential_path_cover
+from repro.cograph import minimum_path_cover_size, random_cotree
+
+from _util import write_result_table
+
+SIZES = [256, 512, 1024, 2048, 4096, 8192, 16384]
+
+
+@pytest.mark.parametrize("n", [1024, 8192])
+def test_sequential_wallclock(benchmark, n):
+    tree = random_cotree(n, seed=n, join_prob=0.5)
+    cover = benchmark(lambda: sequential_path_cover(tree))
+    assert cover.num_paths == minimum_path_cover_size(tree)
+
+
+def test_lemma_2_3_linearity_table(benchmark):
+    rows = []
+    for n in SIZES:
+        tree = random_cotree(n, seed=n, join_prob=0.5)
+        t0 = time.perf_counter()
+        cover, stats = sequential_path_cover(tree, return_stats=True)
+        elapsed = time.perf_counter() - t0
+        rows.append({
+            "n": n,
+            "operations": stats.total_operations,
+            "ops/n": round(stats.total_operations / n, 2),
+            "wall-clock (ms)": round(elapsed * 1e3, 2),
+            "paths": cover.num_paths,
+        })
+    sizes = [r["n"] for r in rows]
+    ops = [r["operations"] for r in rows]
+    fit = best_model(sizes, ops, models=["n", "n log n", "n^2"])
+    rows.append({"n": "fit", "operations": f"~ {fit.model}", "ops/n": "",
+                 "wall-clock (ms)": "", "paths": ""})
+    write_result_table("E2", "Lemma 2.3 — sequential algorithm is linear", rows)
+
+    assert fit.model == "n"
+    assert loglog_slope(sizes, ops) < 1.15
+
+    benchmark(lambda: sequential_path_cover(random_cotree(4096, seed=1)))

@@ -1,0 +1,54 @@
+"""E7 — work-optimality: the parallel algorithm's total work stays within a
+constant factor of the sequential operation count, and the Brent-scheduled
+speedup with p = n / log2 n processors does not collapse as n grows.
+"""
+
+import pytest
+
+from repro.analysis import compute_metrics, loglog_slope
+from repro.baselines import sequential_path_cover
+from repro.cograph import random_cotree
+from repro.core import minimum_path_cover_parallel
+from repro.pram import optimal_processor_count
+
+from _util import write_result_table
+
+SIZES = [128, 256, 512, 1024, 2048, 4096]
+
+
+@pytest.mark.parametrize("n", [512, 4096])
+def test_work_optimality_wallclock(benchmark, n):
+    tree = random_cotree(n, seed=n, join_prob=0.5)
+    benchmark(lambda: minimum_path_cover_parallel(tree))
+
+
+def test_work_optimality_table(benchmark):
+    rows = []
+    ratios = []
+    for n in SIZES:
+        tree = random_cotree(n, seed=n, join_prob=0.5)
+        result = minimum_path_cover_parallel(tree)
+        _, stats = sequential_path_cover(tree, return_stats=True)
+        p = optimal_processor_count(n)
+        m = compute_metrics(n, result.report.time, result.report.work, p,
+                            sequential_time=stats.total_operations)
+        ratios.append(m.work_ratio)
+        rows.append({
+            "n": n, "processors": p,
+            "parallel work": result.report.work,
+            "sequential ops": stats.total_operations,
+            "work ratio": round(m.work_ratio, 1),
+            "speedup": round(m.speedup, 2),
+            "efficiency": round(m.efficiency, 3),
+        })
+    write_result_table("E7", "work-optimality and Brent-scheduled efficiency",
+                       rows)
+
+    # the work ratio is allowed to carry a constant (the simulator counts
+    # every primitive's elementary operations) but must not *grow*
+    # polynomially with n.
+    assert loglog_slope(SIZES, ratios) < 0.35
+    assert max(ratios) < 20 * min(ratios)
+
+    benchmark(lambda: minimum_path_cover_parallel(
+        random_cotree(1024, seed=3, join_prob=0.5)))

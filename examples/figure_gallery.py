@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Regenerate the paper's worked figures (F1-F12 of DESIGN.md) in text form.
+
+Run with:  python examples/figure_gallery.py
+"""
+
+import numpy as np
+
+from repro.cograph import (
+    CographAdjacencyOracle,
+    Cotree,
+    Graph,
+    binarize_cotree,
+    independent_set,
+    join_cotrees,
+    minimum_path_cover_size,
+    single_vertex,
+    union_cotrees,
+)
+from repro.core import (
+    binarize_parallel,
+    build_pseudo_forest,
+    expected_path_count,
+    extract_paths,
+    generate_brackets,
+    leftist_reorder,
+    legalize_forest,
+    minimum_path_cover_parallel,
+    or_instance_cotree,
+    reduce_cotree,
+    remove_dummies,
+    render_brackets,
+)
+from repro.core.reduce import VertexClass
+from repro.io import render_binary_cotree, render_cotree, render_cover, render_forest
+
+
+def header(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def figure_1() -> None:
+    header("Figure 1 - a cograph and its cotree")
+    tree = Cotree.from_nested(
+        ("join", ("union", 0, 1, ("join", 2, 3)), ("union", 4, ("join", 5, 6)), 7))
+    print(render_cotree(tree, names=list("abcdefgh")))
+    g = Graph.from_cotree(tree)
+    print(f"\nedges ({g.num_edges()}): "
+          + " ".join(f"{'abcdefgh'[u]}{'abcdefgh'[v]}" for u, v in g.edges()))
+
+
+def figure_2() -> None:
+    header("Figure 2 - the lower-bound cotree for bits 0,0,0,0,0,1,0,1")
+    bits = [0, 0, 0, 0, 0, 1, 0, 1]
+    inst = or_instance_cotree(bits)
+    names = [f"a{i+1}" for i in range(8)] + ["x", "y", "z"]
+    print(render_cotree(inst.cotree, names=names))
+    cover = minimum_path_cover_parallel(inst.cotree).cover
+    print(f"\nminimum path cover has {cover.num_paths} paths "
+          f"(= n - k + 2 = {expected_path_count(bits)})")
+    print(render_cover(cover, names=names))
+
+
+def figure_3() -> None:
+    header("Figure 3 - binarizing a node with many children")
+    tree = Cotree.from_nested(("union", 0, 1, 2, 3))
+    print("before:")
+    print(render_cotree(tree))
+    print("\nafter (left-deep chain):")
+    print(render_binary_cotree(binarize_cotree(tree)))
+
+
+def figure_4_7_8() -> None:
+    header("Figures 4, 7, 8 - Case 1 and Case 2 at a 1-node")
+    case1 = join_cotrees(independent_set(4),
+                         independent_set(2).relabel_vertices({0: 4, 1: 5}))
+    cover1 = minimum_path_cover_parallel(case1).cover
+    print("Case 1: p(v)=4 > L(w)=2 -> bridge all of G(w); "
+          f"{cover1.num_paths} paths")
+    print(render_cover(cover1))
+    case2 = join_cotrees(independent_set(3),
+                         independent_set(4).relabel_vertices(
+                             {i: 3 + i for i in range(4)}))
+    cover2 = minimum_path_cover_parallel(case2).cover
+    print("\nCase 2: p(v) <= L(w) -> bridges + inserted vertices; "
+          f"{cover2.num_paths} path")
+    print(render_cover(cover2))
+
+
+def fig10_cotree():
+    ab = join_cotrees(single_vertex(0), single_vertex(1))
+    left = union_cotrees(ab, single_vertex(2))
+    right = independent_set(3).relabel_vertices({0: 3, 1: 4, 2: 5})
+    return join_cotrees(left, right)
+
+
+def figures_5_and_10() -> None:
+    header("Figures 5 & 10 - reduced cotree, bracket sequence and matching")
+    tree = fig10_cotree()
+    names = list("abcdef")
+    print(render_cotree(tree, names=names))
+    lf = leftist_reorder(None, binarize_parallel(None, tree))
+    red = reduce_cotree(None, lf)
+    cls = {VertexClass.PRIMARY: "primary", VertexClass.BRIDGE: "bridge",
+           VertexClass.INSERT: "insert"}
+    print("\nvertex classification:")
+    for v in range(6):
+        print(f"  {names[v]}: {cls[int(red.vertex_class[v])]}")
+    seq = generate_brackets(None, red)
+    print("\nbracket sequence B(R) (with dummy vertices):")
+    print(" " + render_brackets(seq, names=names))
+
+
+def figures_6_9_11() -> None:
+    header("Figures 6, 9, 11 - pseudo path trees, dummies, and the final path")
+    tree = fig10_cotree()
+    names = list("abcdef")
+    lf = leftist_reorder(None, binarize_parallel(None, tree))
+    red = reduce_cotree(None, lf)
+    seq = generate_brackets(None, red)
+    forest = build_pseudo_forest(None, seq)
+    print("pseudo path trees (before legalisation, dummies shown as d1, d2):")
+    print(render_forest(forest, names=names))
+    forest, exchanges = legalize_forest(None, forest, red)
+    forest = remove_dummies(None, forest)
+    cover = extract_paths(None, forest)
+    print(f"\nafter {exchanges} exchange(s) and dummy removal:")
+    print(render_cover(cover, names=names))
+    oracle = CographAdjacencyOracle(tree)
+    assert all(oracle.path_is_valid(p) for p in cover.paths)
+
+
+def figure_12() -> None:
+    header("Figure 12 - the slot-capacity argument")
+    tree = fig10_cotree()
+    lf = leftist_reorder(None, binarize_parallel(None, tree))
+    red = reduce_cotree(None, lf)
+    t = red.tree
+    for u in red.active_join_nodes():
+        p_v = int(red.p[t.left[u]])
+        L_w = int(red.leaf_count[t.right[u]])
+        L_v = int(red.leaf_count[t.left[u]])
+        if p_v <= L_w:
+            demand = (L_w - p_v + 1) + (2 * p_v - 2)
+            capacity = L_v + p_v - 1
+            print(f"1-node {u}: inserts+dummies = {demand} <= "
+                  f"L(v)+p(v)-1 = {capacity}")
+
+
+def main() -> None:
+    figure_1()
+    figure_2()
+    figure_3()
+    figure_4_7_8()
+    figures_5_and_10()
+    figures_6_9_11()
+    figure_12()
+    print("\nall figures regenerated.")
+
+
+if __name__ == "__main__":
+    main()

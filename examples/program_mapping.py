@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Mapping a series-parallel task system onto pipeline lanes.
+
+Second application scenario from the paper's introduction ("mapping parallel
+programs to parallel architectures", "code optimization"):
+
+* a build/ETL system is described by series and parallel composition of task
+  groups; two tasks can share a pipeline *lane* slot boundary iff they are
+  composed in series (may exchange data directly) — again a cograph;
+* one pipeline lane executes a chain of pairwise-compatible tasks, so the
+  minimum number of lanes that covers all tasks is a minimum path cover;
+* the example sweeps the amount of parallel fan-out and shows the lane count
+  react exactly as the ``max(p(v) − L(w), 1)`` recurrence predicts, crossing
+  over from "fits into one lane" to "needs fan-out - reserve lanes".
+
+Run with:  python examples/program_mapping.py
+"""
+
+from repro import (
+    independent_set,
+    join_cotrees,
+    minimum_path_cover_parallel,
+    minimum_path_cover_size,
+    sequential_path_cover,
+    union_cotrees,
+)
+from repro.analysis import format_table
+from repro.cograph import relabel_disjoint
+
+
+def stage(width: int):
+    """A parallel stage of `width` mutually independent tasks."""
+    return independent_set(width)
+
+
+def series(*stages):
+    """Series composition: every task of one stage can hand over to every
+    task of the next (join)."""
+    return join_cotrees(*relabel_disjoint(list(stages)))
+
+
+def parallel(*blocks):
+    """Parallel composition: independent sub-pipelines (union)."""
+    return union_cotrees(*relabel_disjoint(list(blocks)))
+
+
+def main() -> None:
+    rows = []
+    for fanout in range(2, 11):
+        # a pre-processing stage of 3 tasks, a wide map stage, a reduce stage
+        # of 2 tasks, composed in series; plus an independent logging block.
+        pipeline = series(stage(3), stage(fanout), stage(2))
+        system = parallel(pipeline, stage(2))
+        result = minimum_path_cover_parallel(system)
+        rows.append({
+            "map fan-out": fanout,
+            "tasks": system.num_vertices,
+            "lanes needed": result.num_paths,
+            "analytic prediction": minimum_path_cover_size(system),
+            "PRAM rounds": result.report.rounds,
+        })
+        assert result.num_paths == minimum_path_cover_size(system)
+    print(format_table(rows, title="pipeline lanes vs map fan-out"))
+
+    # show one concrete assignment for the widest configuration
+    pipeline = series(stage(3), stage(10), stage(2))
+    system = parallel(pipeline, stage(2))
+    cover = sequential_path_cover(system)
+    print("\nlane assignment for fan-out 10 (one line per lane):")
+    for i, lane in enumerate(cover.paths, 1):
+        print(f"  lane {i}: tasks {lane}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: build a cograph, find a minimum path cover, inspect the cost.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Graph,
+    cotree_from_graph,
+    minimum_path_cover_parallel,
+    minimum_path_cover_size,
+    random_cotree,
+    sequential_path_cover,
+)
+from repro.io import render_cotree, render_cover
+
+
+def main() -> None:
+    # -- 1. a cograph can come from a generator ... ----------------------- #
+    tree = random_cotree(24, seed=7, join_prob=0.55)
+    print("The cotree of a random 24-vertex cograph:")
+    print(render_cotree(tree))
+    print()
+
+    # -- ... or from an explicit graph via recognition -------------------- #
+    graph = Graph.from_cotree(tree)          # any P4-free edge list works
+    tree_again = cotree_from_graph(graph)
+    assert Graph.from_cotree(tree_again) == graph
+
+    # -- 2. the paper's parallel algorithm -------------------------------- #
+    result = minimum_path_cover_parallel(tree, validate=True)
+    print(f"minimum path cover size: {result.num_paths} "
+          f"(analytic p(root) = {minimum_path_cover_size(tree)})")
+    print(render_cover(result.cover))
+    print()
+
+    # -- 3. the PRAM cost report ------------------------------------------ #
+    print("Simulated PRAM cost (EREW, p = ceil(n / log2 n)):")
+    print(result.report)
+    print()
+
+    # -- 4. the sequential reference agrees ------------------------------- #
+    sequential = sequential_path_cover(tree)
+    assert sequential.num_paths == result.num_paths
+    print(f"sequential Lin-Olariu-Pruesse algorithm: "
+          f"{sequential.num_paths} paths (agrees)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Ring-protocol / broadcast-schedule assignment on a compatibility cograph.
+
+The paper's introduction lists ring protocols and mapping parallel programs
+onto architectures among the applications of path covers.  This example plays
+that scenario out end to end:
+
+* a distributed system has stations grouped into *clusters*; two stations can
+  hold a direct token-passing link iff their clusters are compatible.  The
+  compatibility relation is built from series (join) and parallel (union)
+  composition of clusters — which is exactly a cograph;
+* a token-ring schedule is a set of vertex-disjoint chains covering every
+  station; fewer chains means fewer ring controllers, so the minimum path
+  cover is the cheapest schedule;
+* when the cover is a single path (and the cycle condition holds) the whole
+  system can run one closed token ring — the Hamiltonian cycle corollary.
+
+Run with:  python examples/ring_protocol_assignment.py
+"""
+
+from repro import (
+    CographAdjacencyOracle,
+    clique,
+    has_hamiltonian_cycle,
+    hamiltonian_cycle,
+    independent_set,
+    join_cotrees,
+    minimum_path_cover_parallel,
+    union_cotrees,
+)
+from repro.cograph import relabel_disjoint
+from repro.io import render_cover
+
+
+def build_compatibility_cograph():
+    """Three sites; stations inside a rack are mutually incompatible (they
+    share one transceiver), racks within a site are fully compatible, and the
+    two primary sites are compatible with each other but not with the
+    isolated archive site."""
+    # site A: two racks of 3 and 2 stations
+    site_a = join_cotrees(independent_set(3), independent_set(2), relabel=True)
+    # site B: a rack of 4 stations plus one gateway compatible with all of them
+    site_b = join_cotrees(independent_set(4), clique(1), relabel=True)
+    # archive site: two standalone stations that only talk to each other
+    archive = clique(2)
+    # sites A and B are bridged (join); the archive is isolated (union)
+    site_a, site_b, archive = relabel_disjoint([site_a, site_b, archive])
+    return union_cotrees(join_cotrees(site_a, site_b), archive)
+
+
+def main() -> None:
+    tree = build_compatibility_cograph()
+    n = tree.num_vertices
+    print(f"compatibility cograph over {n} stations, "
+          f"{tree.edge_count()} compatible pairs")
+
+    result = minimum_path_cover_parallel(tree, validate=True)
+    print(f"\nminimum number of token chains: {result.num_paths}")
+    print(render_cover(result.cover, names=[f"st{i}" for i in range(n)]))
+
+    oracle = CographAdjacencyOracle(tree)
+    for i, path in enumerate(result.cover.paths, 1):
+        assert oracle.path_is_valid(path)
+        print(f"chain {i}: {len(path)} stations, controller at st{path[0]}")
+
+    # can the two bridged sites run one closed ring on their own?
+    bridged = join_cotrees(
+        join_cotrees(independent_set(3), independent_set(2), relabel=True),
+        join_cotrees(independent_set(4), clique(1), relabel=True),
+        relabel=True)
+    if has_hamiltonian_cycle(bridged):
+        cycle = hamiltonian_cycle(bridged)
+        print(f"\nsites A+B can run a single closed token ring of "
+              f"{len(cycle)} stations:")
+        print(" -> ".join(f"st{v}" for v in cycle) + f" -> st{cycle[0]}")
+    else:
+        print("\nsites A+B cannot run a single closed ring")
+
+    print(f"\nsimulated PRAM cost: {result.report.rounds} rounds, "
+          f"work {result.report.work}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Scaling study: simulated parallel time/work vs the sequential baseline.
+
+A compact, self-contained version of benchmarks E4/E5/E7 meant for a quick
+interactive look (the benchmark harness regenerates the full tables).
+
+Run with:  python examples/scaling_study.py  [max_exponent]
+"""
+
+import sys
+
+from repro import random_cotree, sequential_path_cover
+from repro.analysis import best_model, compute_metrics, format_table, log2ceil
+from repro.baselines import naive_parallel_path_cover
+from repro.cograph import caterpillar_cotree
+from repro.core import minimum_path_cover_parallel
+from repro.pram import optimal_processor_count
+
+
+def main(max_exp: int = 12) -> None:
+    rows = []
+    for k in range(6, max_exp + 1):
+        n = 2 ** k
+        tree = random_cotree(n, seed=n, join_prob=0.5)
+        result = minimum_path_cover_parallel(tree)
+        _, stats = sequential_path_cover(tree, return_stats=True)
+        metrics = compute_metrics(n, result.report.time, result.report.work,
+                                  optimal_processor_count(n),
+                                  sequential_time=stats.total_operations)
+        rows.append({
+            "n": n,
+            "rounds": result.report.rounds,
+            "rounds/log2 n": round(result.report.rounds / log2ceil(n), 1),
+            "work/n": round(metrics.work_per_n, 1),
+            "speedup": round(metrics.speedup, 1),
+            "efficiency": round(metrics.efficiency, 3),
+        })
+    print(format_table(rows, title="paper's algorithm on random cotrees"))
+    fit = best_model([r["n"] for r in rows], [r["rounds"] for r in rows],
+                     models=["1", "log n", "log^2 n", "sqrt n", "n"])
+    print(f"\nbest-fit growth of the round count: {fit}")
+
+    # the naive parallelisation on its worst case
+    rows2 = []
+    for k in range(6, min(max_exp, 11) + 1):
+        n = 2 ** k
+        tree = caterpillar_cotree(n)
+        optimal = minimum_path_cover_parallel(tree)
+        _, naive = naive_parallel_path_cover(tree)
+        rows2.append({
+            "n": n,
+            "optimal (this paper) time": optimal.report.time,
+            "naive level-by-level time": naive.time,
+            "naive / optimal": round(naive.time / max(optimal.report.time, 1), 2),
+        })
+    print()
+    print(format_table(rows2,
+                       title="caterpillar cotrees: naive parallelisation "
+                             "degenerates, the bracket algorithm does not"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments that lack the
+``wheel`` package required by the PEP 517 editable-install path.
+"""
+from setuptools import setup
+
+setup()

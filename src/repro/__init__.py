@@ -1,0 +1,116 @@
+"""repro — a full reproduction of Nakano, Olariu and Zomaya's time- and
+work-optimal parallel minimum path cover algorithm for cographs (IPPS 1999 /
+TCS 290 (2003) 1541-1556).
+
+The package is organised as described in DESIGN.md:
+
+* :mod:`repro.cograph` — cotrees, cographs, generators, recognition,
+  validation (the substrate the paper assumes);
+* :mod:`repro.pram` — the PRAM cost-model simulator (EREW/CREW/CRCW
+  accounting and access checking);
+* :mod:`repro.primitives` — the Lemma 5.1 / 5.2 toolbox (prefix sums, list
+  ranking, Euler tours, tree numbering, bracket matching, tree contraction);
+* :mod:`repro.core` — the paper's algorithm (Sections 2-5), the lower-bound
+  reduction and the Hamiltonicity corollaries;
+* :mod:`repro.baselines` — the sequential reference, brute force, greedy, and
+  cost-model emulations of the prior parallel algorithms;
+* :mod:`repro.analysis` / :mod:`repro.io` — the benchmark harness utilities.
+
+Quickstart
+----------
+>>> from repro import random_cotree, minimum_path_cover, minimum_path_cover_size
+>>> tree = random_cotree(200, seed=1)
+>>> cover = minimum_path_cover(tree)
+>>> cover.num_paths == minimum_path_cover_size(tree)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .cograph import (
+    BinaryCotree,
+    CographAdjacencyOracle,
+    Cotree,
+    CotreeError,
+    Graph,
+    NotACographError,
+    PathCover,
+    PathCoverError,
+    balanced_cotree,
+    binarize_cotree,
+    caterpillar_cotree,
+    clique,
+    complete_bipartite,
+    complement_cotree,
+    cotree_from_graph,
+    independent_set,
+    is_cograph,
+    join_cotrees,
+    join_of_independent_sets,
+    make_leftist,
+    minimum_path_cover_size,
+    random_cotree,
+    single_vertex,
+    threshold_cograph,
+    union_cotrees,
+    union_of_cliques,
+)
+from .core import (
+    ParallelPathCoverResult,
+    PathCoverSolver,
+    hamiltonian_cycle,
+    hamiltonian_path,
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+    minimum_path_cover_parallel,
+)
+from .baselines import sequential_path_cover
+from .pram import PRAM, AccessMode, CostReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Cotree", "BinaryCotree", "Graph", "PathCover", "CographAdjacencyOracle",
+    "CotreeError", "PathCoverError", "NotACographError",
+    "binarize_cotree", "make_leftist", "minimum_path_cover_size",
+    "cotree_from_graph", "is_cograph",
+    "single_vertex", "independent_set", "clique", "complete_bipartite",
+    "union_of_cliques", "join_of_independent_sets", "balanced_cotree",
+    "caterpillar_cotree", "threshold_cograph", "random_cotree",
+    "union_cotrees", "join_cotrees", "complement_cotree",
+    # machine
+    "PRAM", "AccessMode", "CostReport",
+    # algorithms
+    "minimum_path_cover", "minimum_path_cover_parallel",
+    "sequential_path_cover", "ParallelPathCoverResult", "PathCoverSolver",
+    "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",
+    "hamiltonian_cycle",
+]
+
+
+def minimum_path_cover(tree: Union[Cotree, BinaryCotree], *,
+                       method: str = "parallel") -> PathCover:
+    """Find a minimum path cover of a cograph.
+
+    Parameters
+    ----------
+    tree:
+        the cograph's cotree (use :func:`cotree_from_graph` to obtain one
+        from an explicit graph).
+    method:
+        ``"parallel"`` (the paper's algorithm on the PRAM simulator) or
+        ``"sequential"`` (the Lin-Olariu-Pruesse reference algorithm).
+
+    Returns
+    -------
+    PathCover
+    """
+    if method == "parallel":
+        return minimum_path_cover_parallel(tree).cover
+    if method == "sequential":
+        return sequential_path_cover(tree)
+    raise ValueError(f"unknown method {method!r}; use 'parallel' or 'sequential'")

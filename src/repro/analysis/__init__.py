@@ -1,0 +1,13 @@
+"""Measurement, complexity fitting, experiment registry and table rendering."""
+
+from .complexity import GROWTH_MODELS, FitResult, best_model, fit_growth, loglog_slope
+from .experiments import EXPERIMENTS, ExperimentSpec, experiment_by_id
+from .metrics import ParallelMetrics, compute_metrics, log2ceil
+from .tables import format_markdown_table, format_table, print_table
+
+__all__ = [
+    "GROWTH_MODELS", "FitResult", "fit_growth", "best_model", "loglog_slope",
+    "EXPERIMENTS", "ExperimentSpec", "experiment_by_id",
+    "ParallelMetrics", "compute_metrics", "log2ceil",
+    "format_table", "format_markdown_table", "print_table",
+]

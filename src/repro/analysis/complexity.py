@@ -1,0 +1,94 @@
+"""Empirical complexity fitting.
+
+The benchmarks do not try to match the paper's constants (there are none to
+match — it is an asymptotic result); what they check is the *shape*: parallel
+time growing like ``log n``, work growing like ``n``, the naive baseline
+growing like ``n log n`` on caterpillars, and so on.  This module fits
+measurements against a small family of candidate growth models by least
+squares on the scaled residuals and reports which model explains the data
+best, plus a log–log slope estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["GROWTH_MODELS", "FitResult", "fit_growth", "loglog_slope",
+           "best_model"]
+
+
+def _safe_log2(n: np.ndarray) -> np.ndarray:
+    return np.log2(np.maximum(n, 2.0))
+
+
+#: name -> g(n); measurements are fitted as  y ≈ c * g(n)
+GROWTH_MODELS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "1": lambda n: np.ones_like(n, dtype=float),
+    "log n": lambda n: _safe_log2(n),
+    "log^2 n": lambda n: _safe_log2(n) ** 2,
+    "sqrt n": lambda n: np.sqrt(n),
+    "n": lambda n: n.astype(float),
+    "n log n": lambda n: n * _safe_log2(n),
+    "n^2": lambda n: n.astype(float) ** 2,
+}
+
+
+@dataclass
+class FitResult:
+    """Least-squares fit of ``y ≈ c * g(n)`` for one growth model."""
+
+    model: str
+    constant: float
+    relative_rmse: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.constant:.3g} * {self.model} (rel. RMSE {self.relative_rmse:.3f})"
+
+
+def fit_growth(sizes: Sequence[int], values: Sequence[float],
+               models: Sequence[str] = None) -> List[FitResult]:
+    """Fit every candidate model and return them sorted best-first.
+
+    The fit minimises the *relative* residual ``(y - c g(n)) / y`` so that
+    large inputs do not dominate; the reported figure of merit is the
+    root-mean-square relative error.
+    """
+    n = np.asarray(sizes, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if len(n) != len(y) or len(n) == 0:
+        raise ValueError("sizes and values must be equal-length and non-empty")
+    if np.any(y <= 0):
+        raise ValueError("values must be positive to fit growth models")
+    results = []
+    for name in (models or GROWTH_MODELS):
+        g = GROWTH_MODELS[name](n)
+        # minimise sum((y - c g)^2 / y^2)  =>  c = sum(g/y) / sum(g^2/y^2)
+        c = float(np.sum(g / y) / np.sum((g / y) ** 2))
+        rel = (y - c * g) / y
+        rmse = float(np.sqrt(np.mean(rel ** 2)))
+        results.append(FitResult(model=name, constant=c, relative_rmse=rmse))
+    results.sort(key=lambda r: r.relative_rmse)
+    return results
+
+
+def best_model(sizes: Sequence[int], values: Sequence[float],
+               models: Sequence[str] = None) -> FitResult:
+    """The best-fitting growth model."""
+    return fit_growth(sizes, values, models)[0]
+
+
+def loglog_slope(sizes: Sequence[int], values: Sequence[float]) -> float:
+    """Slope of ``log y`` against ``log n`` — the empirical polynomial degree.
+
+    A slope near 0 indicates poly-logarithmic growth, near 1 linear growth,
+    near 2 quadratic growth.
+    """
+    n = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(values, dtype=float))
+    if len(n) < 2:
+        raise ValueError("need at least two points")
+    slope, _ = np.polyfit(n, y, 1)
+    return float(slope)

@@ -1,0 +1,76 @@
+"""Speedup / efficiency / work metrics used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ParallelMetrics", "compute_metrics", "log2ceil"]
+
+
+def log2ceil(n: int) -> int:
+    """``ceil(log2 n)`` with the convention ``log2ceil(<=2) == 1``."""
+    if n <= 2:
+        return 1
+    return int(math.ceil(math.log2(n)))
+
+
+@dataclass
+class ParallelMetrics:
+    """Derived quantities for one parallel run.
+
+    Attributes
+    ----------
+    n:
+        input size.
+    parallel_time:
+        simulated time (Brent-scheduled steps).
+    work:
+        total operations executed.
+    processors:
+        processor count used for the time figure.
+    sequential_time:
+        operation count of the sequential reference (when available).
+    speedup:
+        ``sequential_time / parallel_time``.
+    efficiency:
+        ``speedup / processors``.
+    work_ratio:
+        ``work / sequential_time`` — the work-optimality figure (O(1) for a
+        work-optimal algorithm).
+    time_per_log_n:
+        ``parallel_time / ceil(log2 n)`` — the time-optimality figure (O(1)
+        for a time-optimal algorithm).
+    work_per_n:
+        ``work / n``.
+    """
+
+    n: int
+    parallel_time: int
+    work: int
+    processors: int
+    sequential_time: Optional[int] = None
+    speedup: Optional[float] = None
+    efficiency: Optional[float] = None
+    work_ratio: Optional[float] = None
+    time_per_log_n: float = 0.0
+    work_per_n: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in self.__dict__.items()}
+
+
+def compute_metrics(n: int, parallel_time: int, work: int, processors: int,
+                    sequential_time: Optional[int] = None) -> ParallelMetrics:
+    """Assemble a :class:`ParallelMetrics` record."""
+    m = ParallelMetrics(n=n, parallel_time=int(parallel_time), work=int(work),
+                        processors=int(processors),
+                        sequential_time=sequential_time)
+    m.time_per_log_n = parallel_time / log2ceil(n)
+    m.work_per_n = work / max(n, 1)
+    if sequential_time is not None and parallel_time > 0:
+        m.speedup = sequential_time / parallel_time
+        m.efficiency = m.speedup / max(processors, 1)
+        m.work_ratio = work / max(sequential_time, 1)
+    return m

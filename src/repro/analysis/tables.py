@@ -1,0 +1,64 @@
+"""Plain-text / markdown table rendering for the benchmark harnesses.
+
+The benchmarks print their result tables through these helpers so that the
+rows EXPERIMENTS.md quotes can be regenerated verbatim with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "print_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table from a list of dict rows."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_format_cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Dict[str, Any]],
+                          columns: Optional[Sequence[str]] = None) -> str:
+    """GitHub-flavoured markdown table from a list of dict rows."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    out = ["| " + " | ".join(cols) + " |",
+           "|" + "|".join("---" for _ in cols) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(_format_cell(r.get(c, "")) for c in cols) + " |")
+    return "\n".join(out)
+
+
+def print_table(rows: Sequence[Dict[str, Any]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> None:
+    """Print a fixed-width table (convenience for the benchmark harness)."""
+    print()
+    print(format_table(rows, columns, title))

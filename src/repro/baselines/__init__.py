@@ -1,0 +1,26 @@
+"""Baselines: the sequential reference algorithm, exact brute force, a greedy
+heuristic, and cost-model emulations of the prior parallel algorithms."""
+
+from .brute_force import (
+    brute_force_has_hamiltonian_cycle,
+    brute_force_has_hamiltonian_path,
+    brute_force_path_cover,
+    brute_force_path_cover_size,
+)
+from .greedy import greedy_path_cover
+from .prior_parallel import (
+    EmulatedCost,
+    adhar_peng_path_cover,
+    lin_suboptimal_path_cover,
+    naive_parallel_path_cover,
+)
+from .sequential import SequentialStats, sequential_path_cover
+
+__all__ = [
+    "sequential_path_cover", "SequentialStats",
+    "brute_force_path_cover", "brute_force_path_cover_size",
+    "brute_force_has_hamiltonian_path", "brute_force_has_hamiltonian_cycle",
+    "greedy_path_cover",
+    "naive_parallel_path_cover", "lin_suboptimal_path_cover",
+    "adhar_peng_path_cover", "EmulatedCost",
+]

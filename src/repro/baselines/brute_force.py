@@ -1,0 +1,132 @@
+"""Exact minimum path cover by exhaustive dynamic programming.
+
+Works on *any* graph (not only cographs) in ``O(2^n · n^2)`` time, which makes
+it the ground truth the property-based tests compare every other algorithm
+against on small instances — including the Lemma 2.4 recurrence itself, which
+would otherwise be assumed rather than checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cograph import Graph, PathCover
+
+__all__ = ["brute_force_path_cover", "brute_force_path_cover_size",
+           "brute_force_has_hamiltonian_path", "brute_force_has_hamiltonian_cycle"]
+
+_MAX_N = 16
+
+
+def _check_size(n: int) -> None:
+    if n > _MAX_N:
+        raise ValueError(f"brute force limited to {_MAX_N} vertices, got {n}")
+
+
+def brute_force_path_cover_size(graph: Graph) -> int:
+    """Size of a minimum path cover of ``graph`` (exact, exponential)."""
+    n = graph.n
+    _check_size(n)
+    if n == 0:
+        return 0
+    # dp[(mask, last)] = minimum number of paths covering `mask`, the current
+    # path ending at `last`.
+    INF = n + 1
+    dp: List[List[int]] = [[INF] * n for _ in range(1 << n)]
+    for v in range(n):
+        dp[1 << v][v] = 1
+    for mask in range(1 << n):
+        row = dp[mask]
+        for last in range(n):
+            cur = row[last]
+            if cur >= INF:
+                continue
+            for u in range(n):
+                if mask & (1 << u):
+                    continue
+                new_mask = mask | (1 << u)
+                extend = cur if graph.has_edge(last, u) else cur + 1
+                if extend < dp[new_mask][u]:
+                    dp[new_mask][u] = extend
+    full = (1 << n) - 1
+    return min(dp[full])
+
+
+def brute_force_path_cover(graph: Graph) -> PathCover:
+    """An actual minimum path cover (exact, exponential), with witness."""
+    n = graph.n
+    _check_size(n)
+    if n == 0:
+        return PathCover([])
+    INF = n + 1
+    dp: Dict[Tuple[int, int], int] = {}
+    parent: Dict[Tuple[int, int], Optional[Tuple[int, int, bool]]] = {}
+    for v in range(n):
+        dp[(1 << v, v)] = 1
+        parent[(1 << v, v)] = None
+    for mask in range(1 << n):
+        for last in range(n):
+            key = (mask, last)
+            cur = dp.get(key, INF)
+            if cur >= INF:
+                continue
+            for u in range(n):
+                if mask & (1 << u):
+                    continue
+                new_key = (mask | (1 << u), u)
+                same_path = graph.has_edge(last, u)
+                cost = cur if same_path else cur + 1
+                if cost < dp.get(new_key, INF):
+                    dp[new_key] = cost
+                    parent[new_key] = (mask, last, same_path)
+    full = (1 << n) - 1
+    best_last = min(range(n), key=lambda v: dp.get((full, v), INF))
+    # reconstruct
+    paths: List[List[int]] = []
+    current: List[int] = []
+    key = (full, best_last)
+    while key is not None:
+        mask, last = key
+        current.append(last)
+        prev = parent[key]
+        if prev is None:
+            paths.append(list(reversed(current)))
+            current = []
+            key = None
+        else:
+            pmask, plast, same_path = prev
+            if not same_path:
+                paths.append(list(reversed(current)))
+                current = []
+            key = (pmask, plast)
+    return PathCover(paths)
+
+
+def brute_force_has_hamiltonian_path(graph: Graph) -> bool:
+    """Exact Hamiltonian-path decision (exponential)."""
+    if graph.n == 0:
+        return False
+    return brute_force_path_cover_size(graph) == 1
+
+
+def brute_force_has_hamiltonian_cycle(graph: Graph) -> bool:
+    """Exact Hamiltonian-cycle decision (exponential)."""
+    n = graph.n
+    _check_size(n)
+    if n < 3:
+        return False
+    # dp over subsets with fixed start vertex 0
+    dp = [[False] * n for _ in range(1 << n)]
+    dp[1][0] = True
+    for mask in range(1 << n):
+        if not (mask & 1):
+            continue
+        for last in range(n):
+            if not dp[mask][last]:
+                continue
+            for u in graph.adj[last]:
+                if mask & (1 << u):
+                    continue
+                dp[mask | (1 << u)][u] = True
+    full = (1 << n) - 1
+    return any(dp[full][v] and graph.has_edge(v, 0) for v in range(1, n))

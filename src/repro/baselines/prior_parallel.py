@@ -1,0 +1,160 @@
+"""Cost-model emulations of the prior parallel algorithms the paper compares
+against.
+
+Three competitors appear in the paper's introduction and Section 2:
+
+* the **naive parallelisation** of the sequential algorithm: process the
+  leftist binarized cotree level by level; every 1-node costs ``O(log n)``
+  time (list ranking to renumber the paths), so the total is
+  ``O(height(Tbl) · log n)`` time — which degenerates to ``O(n log n)`` on
+  caterpillar cotrees;
+* **Lin, Olariu, Schwing, Zhang [18]** — counts ``p(u)`` optimally in
+  ``O(log n)`` time / ``O(n)`` work, but reports the cover in ``O(log² n)``
+  time with ``n / log n`` processors (``O(n log n)`` work);
+* **Adhar and Peng [2]** — ``O(log² n)`` time with ``O(n²)`` CRCW processors,
+  even for the Hamiltonian-path decision.
+
+The original two-page and journal descriptions do not contain enough detail
+to re-implement them operation-for-operation (and doing so would add nothing:
+they are strictly dominated).  They are therefore emulated at the level the
+paper compares them — their *cost recurrences* — while the covers they
+"produce" are computed by the sequential reference so that every baseline
+still returns a correct object.  Each emulation states exactly which costs it
+charges; the E5 benchmark reports them under an explicit "modelled" column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..cograph import BinaryCotree, Cotree, PathCover, binarize_cotree, make_leftist
+from ..cograph.cotree import JOIN, LEAF
+from .sequential import sequential_path_cover
+
+__all__ = [
+    "EmulatedCost",
+    "naive_parallel_path_cover",
+    "lin_suboptimal_path_cover",
+    "adhar_peng_path_cover",
+]
+
+
+@dataclass
+class EmulatedCost:
+    """Modelled PRAM cost of an emulated competitor.
+
+    Attributes
+    ----------
+    algorithm:
+        short name of the emulated algorithm.
+    model:
+        machine model the original result is stated on.
+    time:
+        modelled parallel time (in abstract steps).
+    processors:
+        modelled processor count.
+    work:
+        ``time * processors``.
+    notes:
+        what recurrence produced the numbers.
+    """
+
+    algorithm: str
+    model: str
+    time: int
+    processors: int
+    work: int
+    notes: str
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm, "model": self.model,
+            "time": self.time, "processors": self.processors,
+            "work": self.work, "notes": self.notes,
+        }
+
+
+def _leftist(tree: Union[Cotree, BinaryCotree]) -> BinaryCotree:
+    if isinstance(tree, BinaryCotree):
+        return make_leftist(tree)
+    return make_leftist(binarize_cotree(tree))
+
+
+def naive_parallel_path_cover(tree: Union[Cotree, BinaryCotree]):
+    """The naive bottom-up parallelisation (cover + modelled cost).
+
+    Cost model: one phase per level of ``Tbl(G)`` processed bottom-up; a phase
+    containing at least one 1-node costs ``ceil(log2 n)`` steps (the parallel
+    renumbering/bridging inside that node), a phase of only 0-nodes costs one
+    step; every node pays work proportional to the number of leaves of its
+    subtree (the paths it has to touch).
+    """
+    binary = _leftist(tree)
+    n = max(binary.num_vertices, 2)
+    log_n = max(1, math.ceil(math.log2(n)))
+    depth = binary.depth()
+    kind = np.asarray(binary.kind)
+    L = binary.subtree_leaf_counts()
+
+    time = 0
+    work = 0
+    for level in range(int(depth.max()), -1, -1):
+        nodes = np.flatnonzero((depth == level) & (kind != LEAF))
+        if len(nodes) == 0:
+            continue
+        has_join = bool(np.any(kind[nodes] == JOIN))
+        time += log_n if has_join else 1
+        work += int(L[nodes].sum())
+
+    cover = sequential_path_cover(binary)
+    cost = EmulatedCost(
+        algorithm="naive-parallel", model="EREW",
+        time=time, processors=max(1, math.ceil(n / log_n)), work=work,
+        notes="one O(log n) phase per cotree level containing a 1-node; "
+              "work = sum of subtree sizes over all internal nodes")
+    return cover, cost
+
+
+def lin_suboptimal_path_cover(tree: Union[Cotree, BinaryCotree]):
+    """Lin–Olariu–Schwing–Zhang [18] (cover + modelled cost).
+
+    Cost model: counting ``p(u)`` costs ``c1 · log n`` time and ``c1 · n``
+    work (that part is optimal); *reporting* costs ``c2 · log² n`` time with
+    ``n / log n`` processors, i.e. ``c2 · n · log n`` work.  We use
+    ``c1 = c2 = 1`` so the numbers are directly comparable shape-wise.
+    """
+    binary = _leftist(tree)
+    n = max(binary.num_vertices, 2)
+    log_n = max(1, math.ceil(math.log2(n)))
+    cover = sequential_path_cover(binary)
+    cost = EmulatedCost(
+        algorithm="lin-1994-suboptimal", model="EREW",
+        time=log_n + log_n * log_n,
+        processors=max(1, math.ceil(n / log_n)),
+        work=n + n * log_n,
+        notes="O(log n)/O(n) counting plus O(log^2 n)-time, (n/log n)-processor "
+              "reporting")
+    return cover, cost
+
+
+def adhar_peng_path_cover(tree: Union[Cotree, BinaryCotree]):
+    """Adhar–Peng [2] (cover + modelled cost).
+
+    Cost model: ``log² n`` time on ``n²`` CRCW processors (the bound stated in
+    the paper's introduction, which holds even for the Hamiltonian-path
+    decision).
+    """
+    binary = _leftist(tree)
+    n = max(binary.num_vertices, 2)
+    log_n = max(1, math.ceil(math.log2(n)))
+    cover = sequential_path_cover(binary)
+    cost = EmulatedCost(
+        algorithm="adhar-peng-1990", model="CRCW",
+        time=log_n * log_n, processors=n * n,
+        work=n * n * log_n * log_n,
+        notes="O(log^2 n) time on O(n^2) CRCW processors")
+    return cover, cost

@@ -1,0 +1,55 @@
+"""Cograph substrate: cotrees, cographs, generators, recognition, validation.
+
+This package is the graph-theoretic foundation the paper assumes as given:
+the cotree representation (properties (4)-(6)), the cograph algebra (union,
+join, complement), recognition from a plain graph, adjacency oracles, and the
+:class:`PathCover` result type with its validators.
+"""
+
+from .binary import BinaryCotree, binarize_cotree
+from .cotree import JOIN, LEAF, UNION, Cotree, CotreeError, kind_name
+from .generators import (
+    balanced_cotree,
+    caterpillar_cotree,
+    clique,
+    complete_bipartite,
+    independent_set,
+    join_of_independent_sets,
+    random_cograph_edges,
+    random_cotree,
+    single_vertex,
+    threshold_cograph,
+    union_of_cliques,
+)
+from .graph import Graph
+from .lca import CographAdjacencyOracle
+from .operations import (
+    complement_cotree,
+    join_cotrees,
+    relabel_disjoint,
+    union_cotrees,
+)
+from .path_cover import PathCover, PathCoverError
+from .recognition import NotACographError, cotree_from_graph, find_induced_p4, is_cograph
+from .validation import (
+    make_leftist,
+    minimum_path_cover_size,
+    path_cover_sizes_per_node,
+    validate_binary_cotree,
+    validate_cotree,
+)
+
+__all__ = [
+    "LEAF", "UNION", "JOIN", "kind_name",
+    "Cotree", "CotreeError", "BinaryCotree", "binarize_cotree",
+    "Graph", "CographAdjacencyOracle",
+    "PathCover", "PathCoverError",
+    "single_vertex", "independent_set", "clique", "complete_bipartite",
+    "union_of_cliques", "join_of_independent_sets", "balanced_cotree",
+    "caterpillar_cotree", "threshold_cograph", "random_cotree",
+    "random_cograph_edges",
+    "union_cotrees", "join_cotrees", "complement_cotree", "relabel_disjoint",
+    "cotree_from_graph", "is_cograph", "find_induced_p4", "NotACographError",
+    "validate_cotree", "validate_binary_cotree", "make_leftist",
+    "minimum_path_cover_size", "path_cover_sizes_per_node",
+]

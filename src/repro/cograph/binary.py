@@ -1,0 +1,301 @@
+"""Binary cotree (``Tb(G)``) in structure-of-arrays form.
+
+The parallel algorithm operates on a *binarized* cotree in which every
+internal node has exactly two children (Fig. 3 of the paper).  Binarisation
+replaces a node with ``k >= 3`` children by a chain of ``k - 1`` binary nodes
+carrying the same label; because union and join are associative this does not
+change the represented cograph, although property (5) (alternating labels) no
+longer holds along the introduced chains.
+
+The arrays are laid out so that the parallel primitives
+(:mod:`repro.primitives`) can operate on them directly with NumPy
+vectorisation — this is the "structure of arrays, not array of structures"
+idiom recommended for HPC-style Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cotree import JOIN, LEAF, UNION, Cotree, CotreeError
+
+__all__ = ["BinaryCotree", "binarize_cotree"]
+
+
+@dataclass
+class BinaryCotree:
+    """A full binary cotree in structure-of-arrays form.
+
+    Attributes
+    ----------
+    kind:
+        ``int8`` array of node kinds (:data:`~repro.cograph.cotree.LEAF`,
+        :data:`~repro.cograph.cotree.UNION`,
+        :data:`~repro.cograph.cotree.JOIN`).
+    left, right:
+        child arrays; ``-1`` for leaves.
+    parent:
+        parent array; ``-1`` for the root.
+    leaf_vertex:
+        vertex id carried by each leaf node (``-1`` for internal nodes).
+    root:
+        root node id.
+
+    A binary cotree over ``n`` vertices has exactly ``2n - 1`` nodes when
+    ``n >= 1`` (every internal node has two children).
+    """
+
+    kind: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    parent: np.ndarray
+    leaf_vertex: np.ndarray
+    root: int
+
+    def __post_init__(self) -> None:
+        self.kind = np.asarray(self.kind, dtype=np.int8)
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        self.parent = np.asarray(self.parent, dtype=np.int64)
+        self.leaf_vertex = np.asarray(self.leaf_vertex, dtype=np.int64)
+        self.root = int(self.root)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+        return len(self.kind)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of leaves (= cograph vertices)."""
+        return int(np.count_nonzero(self.kind == LEAF))
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Leaf node ids."""
+        return np.flatnonzero(self.kind == LEAF)
+
+    @property
+    def internal_nodes(self) -> np.ndarray:
+        """Internal node ids."""
+        return np.flatnonzero(self.kind != LEAF)
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` is a leaf."""
+        return bool(self.kind[node] == LEAF)
+
+    def is_left_child(self, node: int) -> bool:
+        """True when ``node`` is the left child of its parent."""
+        p = self.parent[node]
+        return p != -1 and self.left[p] == node
+
+    def is_right_child(self, node: int) -> bool:
+        """True when ``node`` is the right child of its parent."""
+        p = self.parent[node]
+        return p != -1 and self.right[p] == node
+
+    def vertex_to_leaf(self) -> dict:
+        """Mapping vertex id -> leaf node id."""
+        return {int(self.leaf_vertex[u]): int(u) for u in self.leaves}
+
+    # ------------------------------------------------------------------ #
+    # traversal helpers (sequential; used by tests and baselines)
+    # ------------------------------------------------------------------ #
+
+    def postorder(self) -> List[int]:
+        """Node ids in postorder."""
+        order: List[int] = []
+        stack: List[int] = [self.root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            if self.kind[u] != LEAF:
+                stack.append(int(self.left[u]))
+                stack.append(int(self.right[u]))
+        order.reverse()
+        return order
+
+    def preorder(self) -> List[int]:
+        """Node ids in preorder."""
+        order: List[int] = []
+        stack: List[int] = [self.root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            if self.kind[u] != LEAF:
+                stack.append(int(self.right[u]))
+                stack.append(int(self.left[u]))
+        return order
+
+    def inorder_leaves(self) -> List[int]:
+        """Vertex ids of the leaves in left-to-right order."""
+        out: List[int] = []
+        stack: List[Tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            u, expanded = stack.pop()
+            if self.kind[u] == LEAF:
+                out.append(int(self.leaf_vertex[u]))
+            elif expanded:
+                pass
+            else:
+                stack.append((int(self.right[u]), False))
+                stack.append((int(self.left[u]), False))
+        return out
+
+    def depth(self) -> np.ndarray:
+        """Depth of each node (root depth 0)."""
+        d = np.zeros(self.num_nodes, dtype=np.int64)
+        for u in self.preorder():
+            if self.kind[u] != LEAF:
+                d[self.left[u]] = d[u] + 1
+                d[self.right[u]] = d[u] + 1
+        return d
+
+    def height(self) -> int:
+        """Tree height in edges."""
+        if self.num_nodes <= 1:
+            return 0
+        return int(self.depth().max())
+
+    def subtree_leaf_counts(self) -> np.ndarray:
+        """``L(u)`` — number of leaf descendants — for every node (sequential)."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for u in self.postorder():
+            if self.kind[u] == LEAF:
+                counts[u] = 1
+            else:
+                counts[u] = counts[self.left[u]] + counts[self.right[u]]
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # validation / conversion
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`CotreeError` on failure."""
+        n = self.num_nodes
+        if not (len(self.left) == len(self.right) == len(self.parent)
+                == len(self.leaf_vertex) == n):
+            raise CotreeError("array length mismatch in BinaryCotree")
+        if self.parent[self.root] != -1:
+            raise CotreeError("root has a parent")
+        for u in range(n):
+            if self.kind[u] == LEAF:
+                if self.left[u] != -1 or self.right[u] != -1:
+                    raise CotreeError(f"leaf {u} has children")
+                if self.leaf_vertex[u] < 0:
+                    raise CotreeError(f"leaf {u} has no vertex id")
+            else:
+                l, r = int(self.left[u]), int(self.right[u])
+                if l == -1 or r == -1:
+                    raise CotreeError(f"internal node {u} is not binary")
+                if self.parent[l] != u or self.parent[r] != u:
+                    raise CotreeError(f"parent pointers inconsistent at {u}")
+        # reachability
+        if len(self.postorder()) != n:
+            raise CotreeError("unreachable nodes in BinaryCotree")
+        if self.num_vertices >= 1 and n != 2 * self.num_vertices - 1:
+            raise CotreeError("a full binary tree over k leaves must have "
+                              "2k-1 nodes")
+
+    def to_cotree(self) -> Cotree:
+        """Convert back to an arbitrary-arity :class:`Cotree` (same shape)."""
+        children = [[] for _ in range(self.num_nodes)]
+        for u in range(self.num_nodes):
+            if self.kind[u] != LEAF:
+                children[u] = [int(self.left[u]), int(self.right[u])]
+        return Cotree(self.kind, children, self.leaf_vertex, self.root)
+
+    def copy(self) -> "BinaryCotree":
+        """Deep copy."""
+        return BinaryCotree(self.kind.copy(), self.left.copy(),
+                            self.right.copy(), self.parent.copy(),
+                            self.leaf_vertex.copy(), self.root)
+
+    def swap_children(self, nodes: Sequence[int]) -> "BinaryCotree":
+        """Return a copy with left/right swapped at the given nodes."""
+        out = self.copy()
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if len(nodes):
+            tmp = out.left[nodes].copy()
+            out.left[nodes] = out.right[nodes]
+            out.right[nodes] = tmp
+        return out
+
+
+def binarize_cotree(tree: Cotree) -> BinaryCotree:
+    """Binarize a cotree: replace every node with ``k >= 3`` children by a
+    left-deep chain of ``k - 1`` binary nodes with the same label (Fig. 3).
+
+    The sequential version; the PRAM-costed version used by the optimal
+    pipeline lives in :mod:`repro.core.binarize` and produces identical
+    output.
+
+    A single-vertex cotree maps to a single-leaf binary cotree.
+
+    Raises
+    ------
+    CotreeError
+        if the input has a unary internal node (call
+        :meth:`Cotree.canonicalize` first).
+    """
+    if tree.num_vertices == 0:
+        raise CotreeError("cannot binarize an empty cotree")
+
+    kinds: List[int] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+    leaf_vertex: List[int] = []
+
+    def new_node(kind: int, vertex: int = -1) -> int:
+        kinds.append(kind)
+        lefts.append(-1)
+        rights.append(-1)
+        leaf_vertex.append(vertex)
+        return len(kinds) - 1
+
+    # Iterative postorder so that arbitrarily deep cotrees (e.g. caterpillar
+    # cotrees used in the naive-parallelisation benchmarks) do not hit the
+    # Python recursion limit.
+    built_of: dict = {}
+    for u in tree.postorder():
+        if tree.kind[u] == LEAF:
+            built_of[u] = new_node(LEAF, int(tree.leaf_vertex[u]))
+            continue
+        cs = tree.children[u]
+        if len(cs) < 2:
+            raise CotreeError(
+                f"internal node {u} has {len(cs)} child(ren); canonicalize "
+                "the cotree before binarizing")
+        built = [built_of[c] for c in cs]
+        # left-deep chain: u1 = (c1, c2), u_i = (u_{i-1}, c_{i+1})
+        acc = built[0]
+        for nxt in built[1:]:
+            node = new_node(int(tree.kind[u]))
+            lefts[node] = acc
+            rights[node] = nxt
+            acc = node
+        built_of[u] = acc
+    root = built_of[tree.root]
+
+    n = len(kinds)
+    parent = np.full(n, -1, dtype=np.int64)
+    for u in range(n):
+        if lefts[u] != -1:
+            parent[lefts[u]] = u
+            parent[rights[u]] = u
+    out = BinaryCotree(np.array(kinds, dtype=np.int8),
+                       np.array(lefts, dtype=np.int64),
+                       np.array(rights, dtype=np.int64),
+                       parent,
+                       np.array(leaf_vertex, dtype=np.int64),
+                       root)
+    out.validate()
+    return out

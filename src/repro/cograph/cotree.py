@@ -1,0 +1,517 @@
+"""General (multi-way) cotree representation of a cograph.
+
+A *cograph* (complement-reducible graph) is built from single vertices by
+disjoint union and join.  Every cograph ``G`` admits a canonical rooted tree
+representation, the *cotree* ``T(G)`` (Corneil, Lerchs, Stewart Burlingham
+1981), with the properties used throughout the paper:
+
+(4) every internal node has at least two children;
+(5) internal nodes are labelled 0 (union) or 1 (join) and labels alternate on
+    every root-to-leaf path;
+(6) leaves are the vertices of ``G`` and two vertices are adjacent iff their
+    lowest common ancestor is a 1-node.
+
+This module provides :class:`Cotree`, an arbitrary-arity rooted cotree with a
+structure-of-arrays backing store, plus construction, canonicalisation,
+traversal and conversion helpers.  The binarized form used by the algorithms
+lives in :mod:`repro.cograph.binary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "LEAF",
+    "UNION",
+    "JOIN",
+    "Cotree",
+    "CotreeError",
+    "kind_name",
+]
+
+#: Node-kind code for a leaf (a vertex of the cograph).
+LEAF: int = 0
+#: Node-kind code for a 0-node (disjoint union of its children).
+UNION: int = 1
+#: Node-kind code for a 1-node (join of its children).
+JOIN: int = 2
+
+_KIND_NAMES = {LEAF: "leaf", UNION: "0", JOIN: "1"}
+
+
+def kind_name(kind: int) -> str:
+    """Return a human-readable name ("leaf", "0" or "1") for a node kind."""
+    return _KIND_NAMES[int(kind)]
+
+
+class CotreeError(ValueError):
+    """Raised when a structure is not a valid cotree."""
+
+
+# A nested specification of a cotree:  either an ``int`` (a leaf holding that
+# vertex id), the string "v<k>" form is not supported -- just ints -- or a
+# tuple ``(op, child, child, ...)`` where ``op`` is "union"/"0" or "join"/"1".
+NestedSpec = Union[int, Tuple]
+
+_OP_CODES = {
+    "union": UNION,
+    "0": UNION,
+    0: UNION,
+    "join": JOIN,
+    "1": JOIN,
+    1: JOIN,
+}
+
+
+@dataclass
+class _NodeRecord:
+    """Mutable node record used while building a :class:`Cotree`."""
+
+    kind: int
+    children: List[int] = field(default_factory=list)
+    vertex: int = -1
+
+
+class Cotree:
+    """An arbitrary-arity rooted cotree.
+
+    Nodes are integers ``0 .. num_nodes - 1``.  Leaves carry a *vertex id* in
+    ``0 .. num_vertices - 1``; the mapping between vertex ids and leaf nodes
+    is explicit so vertices keep their identity through binarisation,
+    reduction and path construction.
+
+    Instances are immutable once constructed; all mutating helpers return new
+    trees.
+
+    Parameters
+    ----------
+    kind:
+        integer array of node kinds (:data:`LEAF`, :data:`UNION`,
+        :data:`JOIN`).
+    children:
+        list of child-id lists, one per node (empty for leaves).
+    leaf_vertex:
+        integer array mapping node id -> vertex id (``-1`` for internal
+        nodes).
+    root:
+        id of the root node.
+    """
+
+    __slots__ = ("kind", "children", "leaf_vertex", "parent", "root",
+                 "_vertex_to_leaf")
+
+    def __init__(
+        self,
+        kind: Sequence[int],
+        children: Sequence[Sequence[int]],
+        leaf_vertex: Sequence[int],
+        root: int,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.kind = np.asarray(kind, dtype=np.int8)
+        self.children: List[List[int]] = [list(c) for c in children]
+        self.leaf_vertex = np.asarray(leaf_vertex, dtype=np.int64)
+        self.root = int(root)
+        n = len(self.kind)
+        if not (len(self.children) == n == len(self.leaf_vertex)):
+            raise CotreeError("kind, children and leaf_vertex must have the "
+                              "same length")
+        parent = np.full(n, -1, dtype=np.int64)
+        for u, cs in enumerate(self.children):
+            for c in cs:
+                if parent[c] != -1:
+                    raise CotreeError(f"node {c} has two parents")
+                parent[c] = u
+        self.parent = parent
+        # vertex id -> leaf node id
+        leaves = np.flatnonzero(self.kind == LEAF)
+        vmap = {}
+        for leaf in leaves:
+            v = int(self.leaf_vertex[leaf])
+            if v < 0:
+                raise CotreeError(f"leaf node {leaf} has no vertex id")
+            if v in vmap:
+                raise CotreeError(f"vertex {v} appears on two leaves")
+            vmap[v] = int(leaf)
+        self._vertex_to_leaf = vmap
+        if validate:
+            self._validate_basic()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def single_vertex(cls, vertex: int = 0) -> "Cotree":
+        """The cotree of the one-vertex cograph."""
+        return cls([LEAF], [[]], [vertex], 0)
+
+    @classmethod
+    def from_nested(cls, spec: NestedSpec) -> "Cotree":
+        """Build a cotree from a nested tuple specification.
+
+        ``spec`` is either an ``int`` (a leaf whose vertex id is that
+        integer) or a tuple ``(op, child_spec, child_spec, ...)`` with ``op``
+        one of ``"union"``, ``"0"``, ``0`` (union node) or ``"join"``,
+        ``"1"``, ``1`` (join node).
+
+        Examples
+        --------
+        >>> t = Cotree.from_nested(("join", 0, ("union", 1, 2)))
+        >>> t.num_vertices
+        3
+        """
+        records: List[_NodeRecord] = []
+
+        def new_record(s: NestedSpec) -> int:
+            """Create the record for one spec element (children added later)."""
+            if isinstance(s, (int, np.integer)):
+                records.append(_NodeRecord(LEAF, [], int(s)))
+            else:
+                if not isinstance(s, tuple) or len(s) < 2:
+                    raise CotreeError(f"bad nested spec element: {s!r}")
+                op = s[0]
+                if op not in _OP_CODES:
+                    raise CotreeError(f"unknown cotree operation {op!r}")
+                records.append(_NodeRecord(_OP_CODES[op]))
+            return len(records) - 1
+
+        # Iterative construction (deep caterpillar specs would overflow the
+        # Python recursion limit otherwise).
+        root = new_record(spec)
+        stack: List[Tuple[int, NestedSpec]] = [(root, spec)]
+        while stack:
+            idx, s = stack.pop()
+            if isinstance(s, (int, np.integer)):
+                continue
+            for child_spec in s[1:]:
+                child_idx = new_record(child_spec)
+                records[idx].children.append(child_idx)
+                stack.append((child_idx, child_spec))
+        return cls(
+            [r.kind for r in records],
+            [r.children for r in records],
+            [r.vertex for r in records],
+            root,
+        )
+
+    @classmethod
+    def from_parent_pointers(
+        cls,
+        parent: Sequence[int],
+        kind: Sequence[int],
+        leaf_vertex: Optional[Sequence[int]] = None,
+    ) -> "Cotree":
+        """Build a cotree from the parent-pointer representation.
+
+        This is the representation used in the paper's lower-bound
+        construction ("It is trivial to construct the cotree using the
+        well-known parent-pointer representation").
+
+        Parameters
+        ----------
+        parent:
+            ``parent[u]`` is the parent node of ``u``; the root has parent
+            ``-1``.
+        kind:
+            node kinds.
+        leaf_vertex:
+            optional vertex ids for the leaves; defaults to numbering the
+            leaves ``0, 1, ...`` in node-id order.
+        """
+        parent = np.asarray(parent, dtype=np.int64)
+        kind = np.asarray(kind, dtype=np.int8)
+        n = len(parent)
+        children: List[List[int]] = [[] for _ in range(n)]
+        root = -1
+        for u in range(n):
+            p = int(parent[u])
+            if p == -1:
+                if root != -1:
+                    raise CotreeError("multiple roots in parent-pointer form")
+                root = u
+            else:
+                children[p].append(u)
+        if root == -1:
+            raise CotreeError("no root in parent-pointer form")
+        if leaf_vertex is None:
+            leaf_vertex = np.full(n, -1, dtype=np.int64)
+            leaves = [u for u in range(n) if kind[u] == LEAF]
+            for i, u in enumerate(leaves):
+                leaf_vertex[u] = i
+        return cls(kind, children, leaf_vertex, root)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of cotree nodes (leaves plus internal nodes)."""
+        return len(self.kind)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of cograph vertices, i.e. number of leaves."""
+        return int(np.count_nonzero(self.kind == LEAF))
+
+    @property
+    def internal_nodes(self) -> np.ndarray:
+        """Array of internal node ids."""
+        return np.flatnonzero(self.kind != LEAF)
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Array of leaf node ids."""
+        return np.flatnonzero(self.kind == LEAF)
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Sorted array of vertex ids."""
+        return np.sort(self.leaf_vertex[self.kind == LEAF])
+
+    def leaf_of_vertex(self, vertex: int) -> int:
+        """Return the leaf node holding ``vertex``."""
+        return self._vertex_to_leaf[int(vertex)]
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` is a leaf."""
+        return self.kind[node] == LEAF
+
+    def degree(self, node: int) -> int:
+        """Number of children of ``node``."""
+        return len(self.children[node])
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def preorder(self) -> Iterator[int]:
+        """Iterate node ids in preorder (iterative, recursion-free)."""
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            yield u
+            stack.extend(reversed(self.children[u]))
+
+    def postorder(self) -> Iterator[int]:
+        """Iterate node ids in postorder (children before parents)."""
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            stack.extend(self.children[u])
+        return reversed(order)
+
+    def depth(self) -> np.ndarray:
+        """Depth of each node (root depth 0)."""
+        d = np.zeros(self.num_nodes, dtype=np.int64)
+        for u in self.preorder():
+            for c in self.children[u]:
+                d[c] = d[u] + 1
+        return d
+
+    def height(self) -> int:
+        """Height of the tree (number of edges on the longest root path)."""
+        if self.num_nodes == 1:
+            return 0
+        return int(self.depth().max())
+
+    def subtree_leaf_counts(self) -> np.ndarray:
+        """``L(u)``: number of leaf descendants of every node."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for u in self.postorder():
+            if self.kind[u] == LEAF:
+                counts[u] = 1
+            else:
+                counts[u] = sum(counts[c] for c in self.children[u])
+        return counts
+
+    def leaf_descendants(self, node: int) -> List[int]:
+        """Vertex ids of the leaf descendants of ``node`` (left-to-right)."""
+        out: List[int] = []
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            if self.kind[u] == LEAF:
+                out.append(int(self.leaf_vertex[u]))
+            else:
+                stack.extend(reversed(self.children[u]))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # validation / canonical form
+    # ------------------------------------------------------------------ #
+
+    def _validate_basic(self) -> None:
+        """Check tree-ness and leaf/internal consistency."""
+        n = self.num_nodes
+        seen = np.zeros(n, dtype=bool)
+        count = 0
+        for u in self.preorder():
+            if seen[u]:
+                raise CotreeError("cycle or shared node in cotree")
+            seen[u] = True
+            count += 1
+        if count != n:
+            raise CotreeError("cotree has unreachable nodes")
+        for u in range(n):
+            if self.kind[u] == LEAF:
+                if self.children[u]:
+                    raise CotreeError(f"leaf node {u} has children")
+            else:
+                if len(self.children[u]) == 0:
+                    raise CotreeError(f"internal node {u} has no children")
+
+    def is_canonical(self) -> bool:
+        """True when the cotree satisfies properties (4) and (5).
+
+        Property (4): every internal node has at least two children.
+        Property (5): labels alternate along every root-to-leaf path, i.e. no
+        internal node has a child with the same label.
+        """
+        for u in self.internal_nodes:
+            if len(self.children[u]) < 2:
+                return False
+            for c in self.children[u]:
+                if self.kind[c] != LEAF and self.kind[c] == self.kind[u]:
+                    return False
+        return True
+
+    def canonicalize(self) -> "Cotree":
+        """Return an equivalent canonical cotree.
+
+        Unary internal nodes are spliced out and children with the same label
+        as their parent are merged into the parent, which restores properties
+        (4) and (5) without changing the represented cograph.
+        """
+        # Work on a mutable copy of the children lists, bottom-up.
+        kind = self.kind.copy()
+        children = [list(c) for c in self.children]
+        # splice unary chains and merge same-label children until fixpoint
+        changed = True
+        while changed:
+            changed = False
+            for u in list(self.postorder()):
+                if kind[u] == LEAF:
+                    continue
+                # merge children that are internal and same-labelled
+                new_children: List[int] = []
+                for c in children[u]:
+                    if kind[c] != LEAF and len(children[c]) == 1:
+                        # unary internal node: splice out
+                        new_children.append(children[c][0])
+                        children[c] = []
+                        changed = True
+                    elif kind[c] != LEAF and kind[c] == kind[u]:
+                        new_children.extend(children[c])
+                        children[c] = []
+                        changed = True
+                    else:
+                        new_children.append(c)
+                children[u] = new_children
+        root = self.root
+        while kind[root] != LEAF and len(children[root]) == 1:
+            root = children[root][0]
+        # compact reachable nodes
+        return _compact(kind, children, self.leaf_vertex, root)
+
+    # ------------------------------------------------------------------ #
+    # graph semantics
+    # ------------------------------------------------------------------ #
+
+    def adjacency_sets(self) -> dict:
+        """Materialise the cograph as ``{vertex: set(neighbours)}``.
+
+        This is quadratic in the worst case (a join has Θ(n²) edges); use the
+        LCA-based oracle in :mod:`repro.cograph.lca` for large graphs.
+        """
+        adj: dict = {int(v): set() for v in self.vertices}
+        # compute bottom-up: each internal node knows the vertex sets of its
+        # children; a JOIN node adds the complete bipartite edges between
+        # every pair of distinct children.
+        vsets: dict = {}
+        for u in self.postorder():
+            if self.kind[u] == LEAF:
+                vsets[u] = [int(self.leaf_vertex[u])]
+            else:
+                child_sets = [vsets[c] for c in self.children[u]]
+                if self.kind[u] == JOIN:
+                    for i in range(len(child_sets)):
+                        for j in range(i + 1, len(child_sets)):
+                            for a in child_sets[i]:
+                                for b in child_sets[j]:
+                                    adj[a].add(b)
+                                    adj[b].add(a)
+                merged: List[int] = []
+                for s in child_sets:
+                    merged.extend(s)
+                vsets[u] = merged
+        return adj
+
+    def edge_count(self) -> int:
+        """Number of edges of the represented cograph (without materialising)."""
+        counts = self.subtree_leaf_counts()
+        m = 0
+        for u in self.internal_nodes:
+            if self.kind[u] == JOIN:
+                cs = [counts[c] for c in self.children[u]]
+                total = sum(cs)
+                # sum over unordered pairs of children of |Vi|*|Vj|
+                m += (total * total - sum(c * c for c in cs)) // 2
+        return int(m)
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Cotree(num_vertices={self.num_vertices}, "
+                f"num_nodes={self.num_nodes}, root_kind="
+                f"{kind_name(self.kind[self.root])!r})")
+
+    def to_nested(self) -> NestedSpec:
+        """Inverse of :meth:`from_nested` (up to child ordering)."""
+        def rec(u: int) -> NestedSpec:
+            if self.kind[u] == LEAF:
+                return int(self.leaf_vertex[u])
+            op = "union" if self.kind[u] == UNION else "join"
+            return tuple([op] + [rec(c) for c in self.children[u]])
+        return rec(self.root)
+
+    def relabel_vertices(self, mapping: dict) -> "Cotree":
+        """Return a copy with vertex ids replaced according to ``mapping``."""
+        lv = self.leaf_vertex.copy()
+        for node in self.leaves:
+            lv[node] = mapping[int(self.leaf_vertex[node])]
+        return Cotree(self.kind, self.children, lv, self.root)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality of the rooted, ordered trees."""
+        if not isinstance(other, Cotree):
+            return NotImplemented
+        return self.to_nested() == other.to_nested()
+
+    def __hash__(self) -> int:
+        return hash(self.to_nested())
+
+
+def _compact(kind, children, leaf_vertex, root) -> Cotree:
+    """Re-index the nodes reachable from ``root`` into a fresh Cotree."""
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        stack.extend(reversed(children[u]))
+    remap = {old: new for new, old in enumerate(order)}
+    new_kind = [int(kind[u]) for u in order]
+    new_children = [[remap[c] for c in children[u]] for u in order]
+    new_leaf_vertex = [int(leaf_vertex[u]) for u in order]
+    return Cotree(new_kind, new_children, new_leaf_vertex, remap[root])

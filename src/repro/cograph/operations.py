@@ -1,0 +1,100 @@
+"""Cograph algebra on cotrees: disjoint union, join and complement.
+
+These are the three closure operations from the recursive definition of
+cographs (items (1)-(3) in the paper's introduction).  All operations act on
+cotrees and return canonical cotrees, so the class is closed under them by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .cotree import JOIN, LEAF, UNION, Cotree, CotreeError
+
+__all__ = [
+    "union_cotrees",
+    "join_cotrees",
+    "complement_cotree",
+    "relabel_disjoint",
+]
+
+
+def relabel_disjoint(trees: Sequence[Cotree]) -> List[Cotree]:
+    """Relabel the vertex ids of a sequence of cotrees so they are disjoint
+    and consecutive (``0 .. total-1``), keeping each tree's internal order.
+    """
+    out: List[Cotree] = []
+    offset = 0
+    for t in trees:
+        mapping = {}
+        for i, v in enumerate(sorted(int(x) for x in t.vertices)):
+            mapping[v] = offset + i
+        out.append(t.relabel_vertices(mapping))
+        offset += t.num_vertices
+    return out
+
+
+def _combine(kind_code: int, trees: Sequence[Cotree], relabel: bool) -> Cotree:
+    if len(trees) == 0:
+        raise CotreeError("need at least one cotree to combine")
+    if len(trees) == 1:
+        return trees[0]
+    if relabel:
+        trees = relabel_disjoint(trees)
+    else:
+        all_vertices: List[int] = []
+        for t in trees:
+            all_vertices.extend(int(v) for v in t.vertices)
+        if len(set(all_vertices)) != len(all_vertices):
+            raise CotreeError(
+                "cotrees share vertex ids; pass relabel=True or relabel "
+                "the inputs first")
+
+    kinds: List[int] = [kind_code]
+    children: List[List[int]] = [[]]
+    leaf_vertex: List[int] = [-1]
+
+    for t in trees:
+        base = len(kinds)
+        kinds.extend(int(k) for k in t.kind)
+        leaf_vertex.extend(int(v) for v in t.leaf_vertex)
+        for cs in t.children:
+            children.append([c + base for c in cs])
+        children[0].append(t.root + base)
+
+    combined = Cotree(kinds, children, leaf_vertex, 0)
+    return combined.canonicalize()
+
+
+def union_cotrees(*trees: Cotree, relabel: bool = False) -> Cotree:
+    """Disjoint union of cographs, as a canonical cotree.
+
+    With ``relabel=True`` the vertex ids of the inputs are shifted so they do
+    not clash; otherwise the inputs must already have disjoint vertex ids.
+    """
+    return _combine(UNION, list(trees), relabel)
+
+
+def join_cotrees(*trees: Cotree, relabel: bool = False) -> Cotree:
+    """Join of cographs (every vertex of one adjacent to every vertex of the
+    others), as a canonical cotree."""
+    return _combine(JOIN, list(trees), relabel)
+
+
+def complement_cotree(tree: Cotree) -> Cotree:
+    """Complement of a cograph: swap 0-nodes and 1-nodes of the cotree.
+
+    The complement of a cograph is again a cograph (this is the defining
+    "complement-reducible" property); on the cotree it amounts to flipping
+    every internal label.
+    """
+    kind = tree.kind.copy()
+    internal = kind != LEAF
+    flipped = kind.copy()
+    flipped[internal & (kind == UNION)] = JOIN
+    flipped[internal & (kind == JOIN)] = UNION
+    out = Cotree(flipped, tree.children, tree.leaf_vertex, tree.root)
+    return out.canonicalize()

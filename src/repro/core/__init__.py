@@ -1,0 +1,54 @@
+"""The paper's contribution: the time- and work-optimal parallel minimum
+path cover algorithm for cographs (Sections 2–5), plus the lower-bound
+construction and the Hamiltonicity corollaries.
+"""
+
+from .binarize import binarize_parallel
+from .brackets import (
+    ROLE_L,
+    ROLE_P,
+    ROLE_R,
+    BracketSequence,
+    generate_brackets,
+    render_brackets,
+)
+from .extract import extract_paths
+from .hamiltonian import (
+    HamiltonicityReport,
+    hamiltonian_cycle,
+    hamiltonian_path,
+    hamiltonicity_report,
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+)
+from .leftist import LeftistCotree, leftist_reorder
+from .lower_bound import (
+    LowerBoundInstance,
+    expected_path_count,
+    or_from_cover,
+    or_from_path_count,
+    or_instance_cotree,
+    parallel_or_rounds,
+)
+from .path_trees import PathForest, build_pseudo_forest, legalize_forest, remove_dummies
+from .reduce import ReducedCotree, VertexClass, reduce_cotree
+from .solver import (
+    ParallelPathCoverResult,
+    PathCoverSolver,
+    minimum_path_cover_parallel,
+)
+
+__all__ = [
+    "binarize_parallel",
+    "leftist_reorder", "LeftistCotree",
+    "reduce_cotree", "ReducedCotree", "VertexClass",
+    "generate_brackets", "render_brackets", "BracketSequence",
+    "ROLE_P", "ROLE_L", "ROLE_R",
+    "build_pseudo_forest", "legalize_forest", "remove_dummies", "PathForest",
+    "extract_paths",
+    "minimum_path_cover_parallel", "ParallelPathCoverResult", "PathCoverSolver",
+    "or_instance_cotree", "or_from_path_count", "or_from_cover",
+    "expected_path_count", "parallel_or_rounds", "LowerBoundInstance",
+    "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",
+    "hamiltonian_cycle", "HamiltonicityReport", "hamiltonicity_report",
+]

@@ -1,0 +1,213 @@
+"""Hamiltonian path and Hamiltonian cycle queries on cographs.
+
+The paper's introduction notes that the path-cover machinery answers both
+questions with the same optimal bounds:
+
+* a cograph has a **Hamiltonian path** iff its minimum path cover has exactly
+  one path (``p(root) = 1``);
+* a cograph has a **Hamiltonian cycle** iff, in addition, the vertices that
+  close the cycle are available — for cographs the classic characterisation
+  (Lin–Olariu–Pruesse / Adhar–Peng) is that the root must be a 1-node whose
+  join can absorb one extra "bridge": with the leftist children ``v`` (left)
+  and ``w`` (right), a Hamiltonian cycle exists iff ``n >= 3`` and
+  ``p(v) <= L(w)`` — i.e. the join is rich enough to need no leftover path
+  end (equivalently ``max(p(v) − L(w), 1)`` is reached at the cap **and**
+  there is at least one spare vertex of ``G(w)`` beyond the ``p(v) − 1``
+  bridges, which is exactly ``L(w) >= p(v)``).
+
+Both deciders come in two flavours: a count-only one (cheap, used by the
+benchmarks) and one that also returns the witness path / cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..cograph import (
+    BinaryCotree,
+    CographAdjacencyOracle,
+    Cotree,
+    PathCover,
+    binarize_cotree,
+    make_leftist,
+    minimum_path_cover_size,
+    path_cover_sizes_per_node,
+)
+from ..cograph.cotree import JOIN
+from ..pram import PRAM
+from .solver import minimum_path_cover_parallel
+
+__all__ = ["has_hamiltonian_path", "has_hamiltonian_cycle",
+           "hamiltonian_path", "hamiltonian_cycle", "HamiltonicityReport",
+           "hamiltonicity_report"]
+
+
+@dataclass
+class HamiltonicityReport:
+    """Summary of the Hamiltonicity structure of a cograph."""
+
+    num_vertices: int
+    min_path_cover: int
+    has_path: bool
+    has_cycle: bool
+
+
+def _leftist_binary(tree: Union[Cotree, BinaryCotree]) -> BinaryCotree:
+    if isinstance(tree, BinaryCotree):
+        return make_leftist(tree)
+    return make_leftist(binarize_cotree(tree))
+
+
+def has_hamiltonian_path(tree: Union[Cotree, BinaryCotree]) -> bool:
+    """True iff the cograph admits a Hamiltonian path (``p(root) = 1``)."""
+    binary = _leftist_binary(tree)
+    return int(path_cover_sizes_per_node(binary)[binary.root]) == 1
+
+
+def has_hamiltonian_cycle(tree: Union[Cotree, BinaryCotree]) -> bool:
+    """True iff the cograph admits a Hamiltonian cycle.
+
+    Characterisation on the leftist binarized cotree: the root must be a
+    1-node with ``p(v) <= L(w)`` (left child ``v``, right child ``w``) and the
+    graph must have at least three vertices.
+    """
+    binary = _leftist_binary(tree)
+    n = binary.num_vertices
+    if n < 3:
+        return False
+    root = binary.root
+    if binary.kind[root] != JOIN:
+        return False
+    p = path_cover_sizes_per_node(binary)
+    L = binary.subtree_leaf_counts()
+    return bool(p[binary.left[root]] <= L[binary.right[root]])
+
+
+def hamiltonian_path(tree: Union[Cotree, BinaryCotree], *,
+                     machine: Optional[PRAM] = None) -> Optional[List[int]]:
+    """Return a Hamiltonian path (as a vertex list) or ``None``.
+
+    Uses the parallel solver, so the witness construction inherits the
+    optimal bounds of Theorem 5.3.
+    """
+    result = minimum_path_cover_parallel(tree, machine=machine)
+    if result.num_paths != 1:
+        return None
+    return list(result.cover.paths[0])
+
+
+def hamiltonian_cycle(tree: Union[Cotree, BinaryCotree], *,
+                      machine: Optional[PRAM] = None) -> Optional[List[int]]:
+    """Return a Hamiltonian cycle (as a vertex list whose last vertex is
+    adjacent to its first) or ``None``.
+
+    Construction (the Case-2 argument of Section 2, closed into a cycle): at
+    the root join ``A ∨ B`` (``A = G(v)`` the leftist side, ``B = G(w)``) a
+    minimum path cover ``P_1 .. P_k`` of ``A`` has ``k = p(v) <= |B|`` paths;
+    ``k`` vertices of ``B`` close the paths into a ring
+    ``P_1 b_1 P_2 b_2 ... P_k b_k`` and every remaining ``B`` vertex is
+    inserted between two consecutive ``A`` vertices (there are
+    ``|A| - k >= |B| - k`` such slots because the tree is leftist).
+    """
+    binary = _leftist_binary(tree)
+    if not has_hamiltonian_cycle(binary):
+        return None
+    root = binary.root
+    a_root = int(binary.left[root])
+    b_leaves = _leaf_vertices(binary, int(binary.right[root]))
+
+    # minimum path cover of A = G(v), via the parallel solver on the subtree
+    sub, back = _subtree_binary(binary, a_root)
+    sub_result = minimum_path_cover_parallel(sub, machine=machine)
+    a_paths = [[back[v] for v in p] for p in sub_result.cover.paths]
+    k = len(a_paths)
+    if k > len(b_leaves):  # pragma: no cover - excluded by has_hamiltonian_cycle
+        return None
+
+    ring_b, spare_b = b_leaves[:k], b_leaves[k:]
+    cycle: List[int] = []
+    for path, b in zip(a_paths, ring_b):
+        cycle.extend(path)
+        cycle.append(b)
+
+    if spare_b:
+        # insert the spare B vertices into A-A adjacencies of the ring
+        out: List[int] = []
+        spare = list(spare_b)
+        a_vertices = set(v for p in a_paths for v in p)
+        for i, v in enumerate(cycle):
+            out.append(v)
+            nxt = cycle[(i + 1) % len(cycle)]
+            if spare and v in a_vertices and nxt in a_vertices:
+                out.append(spare.pop())
+        if spare:  # pragma: no cover - leftist condition guarantees room
+            return None
+        cycle = out
+    return cycle
+
+
+def hamiltonicity_report(tree: Union[Cotree, BinaryCotree]) -> HamiltonicityReport:
+    """Convenience bundle of the Hamiltonicity facts of a cograph."""
+    binary = _leftist_binary(tree)
+    p = int(path_cover_sizes_per_node(binary)[binary.root])
+    return HamiltonicityReport(
+        num_vertices=binary.num_vertices,
+        min_path_cover=p,
+        has_path=(p == 1),
+        has_cycle=has_hamiltonian_cycle(binary),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+
+def _leaf_vertices(binary: BinaryCotree, node: int) -> List[int]:
+    out: List[int] = []
+    stack = [node]
+    while stack:
+        u = stack.pop()
+        if binary.kind[u] == 0:  # LEAF
+            out.append(int(binary.leaf_vertex[u]))
+        else:
+            stack.append(int(binary.left[u]))
+            stack.append(int(binary.right[u]))
+    return out
+
+
+def _subtree_binary(binary: BinaryCotree, node: int):
+    """The binary cotree of the subgraph ``G(node)``, with nodes re-indexed
+    and vertices renumbered ``0..k-1``; returns ``(subtree, back)`` where
+    ``back[new_vertex] = original_vertex``."""
+    # collect the subtree nodes
+    order: List[int] = []
+    stack = [int(node)]
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        if binary.kind[u] != 0:  # not LEAF
+            stack.append(int(binary.left[u]))
+            stack.append(int(binary.right[u]))
+    remap = {old: new for new, old in enumerate(order)}
+    m = len(order)
+    kind = np.array([binary.kind[u] for u in order], dtype=np.int8)
+    left = np.array([remap.get(int(binary.left[u]), -1) if binary.left[u] != -1
+                     else -1 for u in order], dtype=np.int64)
+    right = np.array([remap.get(int(binary.right[u]), -1) if binary.right[u] != -1
+                      else -1 for u in order], dtype=np.int64)
+    original_vertices = [int(binary.leaf_vertex[u]) for u in order
+                         if binary.kind[u] == 0]
+    vertex_remap = {v: i for i, v in enumerate(original_vertices)}
+    back = {i: v for v, i in vertex_remap.items()}
+    leaf_vertex = np.array([vertex_remap.get(int(binary.leaf_vertex[u]), -1)
+                            for u in order], dtype=np.int64)
+    parent = np.full(m, -1, dtype=np.int64)
+    for u in range(m):
+        if left[u] != -1:
+            parent[left[u]] = u
+            parent[right[u]] = u
+    sub = BinaryCotree(kind, left, right, parent, leaf_vertex, remap[int(node)])
+    return sub, back

@@ -1,0 +1,151 @@
+"""Section 2 — the Ω(log n) CREW time lower bound, as executable code.
+
+The paper reduces the OR problem of Cook, Dwork and Reischuk (Lemma 2.1) to
+path-cover counting: from bits ``b_1 .. b_n`` it builds the two-level cotree
+of Fig. 2 (a 0-root ``R`` with a 1-child ``u``; bit ``i``'s leaf hangs off
+``u`` when ``b_i = 1`` and off ``R`` otherwise, plus the padding leaves ``x``
+under ``R`` and ``y, z`` under ``u``).  Then
+
+* ``OR(b) = 1``  iff  the path containing ``y`` has more than two vertices
+* ``OR(b) = 1``  iff  the minimum path cover has fewer than ``n + 2`` paths,
+
+so any algorithm that counts (or reports) a minimum path cover in ``o(log n)``
+CREW time would compute OR in ``o(log n)`` time, contradicting Lemma 2.1
+(Theorem 2.2).
+
+This module provides the constructions and the two decision functions, plus a
+measured counterpart to the lower bound: the number of CREW rounds a balanced
+fan-in OR takes on the simulator (the optimal strategy), which the E1
+benchmark reports as the matching upper-bound curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cograph import Cotree, PathCover
+from ..cograph.cotree import JOIN, LEAF, UNION
+from ..pram import PRAM, AccessMode
+from ..primitives import total_sum
+
+__all__ = [
+    "or_instance_cotree",
+    "or_from_path_count",
+    "or_from_cover",
+    "expected_path_count",
+    "parallel_or_rounds",
+    "LowerBoundInstance",
+]
+
+
+@dataclass
+class LowerBoundInstance:
+    """The Fig. 2 reduction for one bit-vector.
+
+    Vertex layout: bit ``i``'s leaf is vertex ``i`` (``0 <= i < n``); the
+    padding vertices are ``x = n``, ``y = n + 1`` and ``z = n + 2``.
+    """
+
+    bits: np.ndarray
+    cotree: Cotree
+
+    @property
+    def n(self) -> int:
+        return len(self.bits)
+
+    @property
+    def x(self) -> int:
+        return self.n
+
+    @property
+    def y(self) -> int:
+        return self.n + 1
+
+    @property
+    def z(self) -> int:
+        return self.n + 2
+
+
+def or_instance_cotree(bits: Sequence[int]) -> LowerBoundInstance:
+    """Build the Fig. 2 cotree for a bit vector (parent-pointer style).
+
+    The construction is O(1) depth with ``n`` processors: every leaf decides
+    its parent independently of all others.
+    """
+    bits = np.asarray(list(bits), dtype=np.int64)
+    if len(bits) == 0:
+        raise ValueError("need at least one bit")
+    if not np.all((bits == 0) | (bits == 1)):
+        raise ValueError("bits must be 0/1")
+    n = len(bits)
+    # nodes: 0 = R (0-node), 1 = u (1-node), then n bit leaves, then x, y, z
+    num_nodes = 2 + n + 3
+    kind = np.full(num_nodes, LEAF, dtype=np.int64)
+    kind[0] = UNION
+    kind[1] = JOIN
+    parent = np.full(num_nodes, -1, dtype=np.int64)
+    parent[1] = 0
+    leaf_nodes = 2 + np.arange(n)
+    parent[leaf_nodes] = np.where(bits == 1, 1, 0)
+    x_node, y_node, z_node = 2 + n, 2 + n + 1, 2 + n + 2
+    parent[x_node] = 0
+    parent[y_node] = 1
+    parent[z_node] = 1
+    leaf_vertex = np.full(num_nodes, -1, dtype=np.int64)
+    leaf_vertex[leaf_nodes] = np.arange(n)
+    leaf_vertex[x_node] = n
+    leaf_vertex[y_node] = n + 1
+    leaf_vertex[z_node] = n + 2
+    tree = Cotree.from_parent_pointers(parent, kind, leaf_vertex)
+    return LowerBoundInstance(bits=bits, cotree=tree)
+
+
+def expected_path_count(bits: Sequence[int]) -> int:
+    """The paper's formula: with ``k`` ones, the minimum path cover has
+    ``n - k + 2`` paths."""
+    bits = np.asarray(list(bits), dtype=np.int64)
+    n = len(bits)
+    k = int(bits.sum())
+    return n - k + 2
+
+
+def or_from_path_count(num_paths: int, n: int) -> int:
+    """Decide OR from the size of a minimum path cover (Theorem 2.2)."""
+    return int(num_paths < n + 2)
+
+
+def or_from_cover(cover: PathCover, instance: LowerBoundInstance) -> int:
+    """Decide OR from a reported cover: OR = 1 iff the path containing the
+    padding vertex ``y`` has more than two vertices."""
+    y = instance.y
+    for path in cover.paths:
+        if y in path:
+            return int(len(path) > 2)
+    raise ValueError("vertex y is missing from the cover")
+
+
+def parallel_or_rounds(machine: Optional[PRAM], bits: Sequence[int]) -> int:
+    """Compute OR of ``n`` bits by balanced fan-in on the given machine and
+    return the result.
+
+    On a CREW/EREW machine this takes ``ceil(log2 n)`` rounds — the matching
+    upper bound for Lemma 2.1's Ω(log n); on a common-CRCW machine the same
+    problem takes O(1) rounds (every 1-bit writes 1 to a single cell), which
+    the E1 benchmark uses to show where the lower bound's model assumption
+    bites.
+    """
+    bits = np.asarray(list(bits), dtype=np.int64)
+    if machine is None:
+        machine = PRAM.null()
+    if machine.mode in (AccessMode.CRCW_COMMON, AccessMode.CRCW_ARBITRARY):
+        out = machine.array(1, name="or.out")
+        ones = np.flatnonzero(bits == 1)
+        with machine.step(active=max(len(ones), 1), label="or:crcw-write"):
+            if len(ones):
+                out.scatter(np.zeros(len(ones), dtype=np.int64),
+                            np.ones(len(ones), dtype=np.int64))
+        return int(out.data[0])
+    return int(total_sum(machine, bits, label="or.fanin") > 0)

@@ -1,0 +1,189 @@
+"""The end-to-end time- and work-optimal path-cover solver (Theorem 5.3).
+
+:func:`minimum_path_cover_parallel` chains the eight steps of Section 5 on a
+single PRAM machine and returns both the cover and the machine's cost report,
+so callers (examples, benchmarks, tests) can inspect the number of synchronous
+rounds, the Brent-scheduled time for ``n / log n`` processors, and the total
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..cograph import (
+    BinaryCotree,
+    CographAdjacencyOracle,
+    Cotree,
+    PathCover,
+)
+from ..pram import PRAM, AccessMode, CostReport, optimal_processor_count
+from .binarize import binarize_parallel
+from .brackets import generate_brackets
+from .extract import extract_paths
+from .leftist import leftist_reorder
+from .path_trees import build_pseudo_forest, legalize_forest, remove_dummies
+from .reduce import reduce_cotree
+
+__all__ = ["ParallelPathCoverResult", "minimum_path_cover_parallel",
+           "PathCoverSolver"]
+
+
+@dataclass
+class ParallelPathCoverResult:
+    """Everything the parallel solver produces.
+
+    Attributes
+    ----------
+    cover:
+        the minimum path cover.
+    num_paths:
+        ``len(cover.paths)`` — equals ``p(root)``.
+    p_root:
+        the analytic count from the Lemma 2.4 recurrence (computed by the
+        same run; always equals ``num_paths``).
+    report:
+        the PRAM cost report of the whole pipeline.
+    machine:
+        the machine itself (for re-scaling to other processor counts).
+    exchanges:
+        number of illegal-insert / legal-dummy exchanges Step 6 performed.
+    """
+
+    cover: PathCover
+    num_paths: int
+    p_root: int
+    report: CostReport
+    machine: PRAM
+    exchanges: int
+
+
+def minimum_path_cover_parallel(
+    tree: Union[Cotree, BinaryCotree],
+    *,
+    machine: Optional[PRAM] = None,
+    num_processors: Optional[int] = None,
+    mode: Union[AccessMode, str] = AccessMode.EREW,
+    work_efficient: bool = True,
+    validate: bool = False,
+    record_steps: bool = False,
+) -> ParallelPathCoverResult:
+    """Find and report a minimum path cover of a cograph, in parallel.
+
+    Parameters
+    ----------
+    tree:
+        the cograph's cotree (general or already binarized).  General cotrees
+        must be canonical (every internal node with >= 2 children).
+    machine:
+        an existing :class:`~repro.pram.PRAM` to account on.  When omitted, a
+        fresh EREW machine with ``ceil(n / log2 n)`` processors (the paper's
+        Theorem 5.3 configuration) is created; pass ``num_processors`` and/or
+        ``mode`` to override.
+    work_efficient:
+        use the work-efficient variants of the primitives (list ranking by
+        contraction rather than Wyllie pointer jumping).
+    validate:
+        when True the produced cover is checked against the LCA adjacency
+        oracle and against the analytic path count before returning
+        (raises on failure).
+
+    Returns
+    -------
+    ParallelPathCoverResult
+    """
+    if isinstance(tree, BinaryCotree):
+        general: Optional[Cotree] = None
+        binary_input: Optional[BinaryCotree] = tree
+        n = tree.num_vertices
+    else:
+        general = tree
+        binary_input = None
+        n = tree.num_vertices
+
+    if machine is None:
+        p = num_processors if num_processors is not None \
+            else optimal_processor_count(max(n, 2))
+        machine = PRAM(p, mode, record_steps=record_steps)
+
+    # trivial instances
+    if n == 1:
+        vertex = int((general or binary_input.to_cotree()).vertices[0])
+        cover = PathCover([[vertex]])
+        return ParallelPathCoverResult(cover=cover, num_paths=1, p_root=1,
+                                       report=machine.report(),
+                                       machine=machine, exchanges=0)
+
+    # Step 1: binarize
+    if binary_input is not None:
+        binary = binary_input
+    else:
+        binary = binarize_parallel(machine, general, label="step1.binarize")
+
+    # Step 2: leaf counts + leftist reordering
+    leftist = leftist_reorder(machine, binary, work_efficient=work_efficient,
+                              label="step2.leftist")
+
+    # Step 3: p(u) + reduction
+    reduced = reduce_cotree(machine, leftist, work_efficient=work_efficient,
+                            label="step3.reduce")
+
+    # Step 4: bracket sequence
+    seq = generate_brackets(machine, reduced, label="step4.brackets")
+
+    # Step 5: matching -> pseudo path trees
+    forest = build_pseudo_forest(machine, seq, label="step5.pseudo")
+
+    # Step 6: legalisation
+    forest, exchanges = legalize_forest(machine, forest, reduced,
+                                        work_efficient=work_efficient,
+                                        label="step6.legalize")
+
+    # Step 7: dummy removal
+    forest = remove_dummies(machine, forest, label="step7.compress")
+
+    # Step 8: extraction
+    cover = extract_paths(machine, forest, work_efficient=work_efficient,
+                          label="step8.extract")
+
+    p_root = reduced.minimum_path_count()
+    result = ParallelPathCoverResult(cover=cover, num_paths=cover.num_paths,
+                                     p_root=p_root, report=machine.report(),
+                                     machine=machine, exchanges=exchanges)
+
+    if validate:
+        oracle = CographAdjacencyOracle(leftist.tree)
+        cover.validate(oracle, expected_num_vertices=n,
+                       expected_num_paths=p_root)
+    return result
+
+
+class PathCoverSolver:
+    """Object-oriented facade over :func:`minimum_path_cover_parallel`.
+
+    Useful when solving many instances with the same machine configuration::
+
+        solver = PathCoverSolver(mode="EREW", work_efficient=True)
+        result = solver.solve(cotree)
+    """
+
+    def __init__(self, *, num_processors: Optional[int] = None,
+                 mode: Union[AccessMode, str] = AccessMode.EREW,
+                 work_efficient: bool = True, validate: bool = False,
+                 record_steps: bool = False) -> None:
+        self.num_processors = num_processors
+        self.mode = mode
+        self.work_efficient = work_efficient
+        self.validate = validate
+        self.record_steps = record_steps
+
+    def solve(self, tree: Union[Cotree, BinaryCotree],
+              machine: Optional[PRAM] = None) -> ParallelPathCoverResult:
+        """Solve one instance; a fresh machine is created unless one is given."""
+        return minimum_path_cover_parallel(
+            tree, machine=machine, num_processors=self.num_processors,
+            mode=self.mode, work_efficient=self.work_efficient,
+            validate=self.validate, record_steps=self.record_steps)

@@ -1,0 +1,29 @@
+"""Serialisation (JSON / compact text) and ASCII rendering."""
+
+from .drawing import (
+    render_binary_cotree,
+    render_binary_tree,
+    render_cotree,
+    render_cover,
+    render_forest,
+)
+from .serialization import (
+    cotree_from_json,
+    cotree_from_text,
+    cotree_to_json,
+    cotree_to_text,
+    cover_from_json,
+    cover_to_json,
+    graph_from_json,
+    graph_to_json,
+    load_json,
+    save_json,
+)
+
+__all__ = [
+    "cotree_to_json", "cotree_from_json", "cotree_to_text", "cotree_from_text",
+    "cover_to_json", "cover_from_json", "graph_to_json", "graph_from_json",
+    "save_json", "load_json",
+    "render_cotree", "render_binary_cotree", "render_binary_tree",
+    "render_forest", "render_cover",
+]

@@ -1,0 +1,111 @@
+"""ASCII rendering of cotrees, path trees and covers.
+
+Used by the figure-gallery example to regenerate the paper's illustrative
+figures in text form, and by error messages in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..cograph import BinaryCotree, Cotree, PathCover
+from ..cograph.cotree import JOIN, LEAF, UNION
+
+__all__ = ["render_cotree", "render_binary_tree", "render_forest",
+           "render_cover"]
+
+
+def _default_leaf_name(vertex: int, names: Optional[Sequence[str]]) -> str:
+    if names is not None and 0 <= vertex < len(names):
+        return str(names[vertex])
+    return f"v{vertex}"
+
+
+def render_cotree(tree: Cotree, names: Optional[Sequence[str]] = None) -> str:
+    """Indented ASCII rendering of a (general) cotree."""
+    lines: List[str] = []
+
+    def label(u: int) -> str:
+        if tree.kind[u] == LEAF:
+            return _default_leaf_name(int(tree.leaf_vertex[u]), names)
+        return "(1)" if tree.kind[u] == JOIN else "(0)"
+
+    def rec(u: int, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + label(u))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        cs = tree.children[u]
+        for i, c in enumerate(cs):
+            rec(c, child_prefix, i == len(cs) - 1)
+
+    lines.append(label(tree.root))
+    cs = tree.children[tree.root]
+    for i, c in enumerate(cs):
+        rec(c, "", i == len(cs) - 1)
+    return "\n".join(lines)
+
+
+def render_binary_tree(left, right, root: int,
+                       label: Callable[[int], str]) -> str:
+    """Indented ASCII rendering of a binary tree given child arrays."""
+    lines: List[str] = []
+
+    def rec(u: int, prefix: str, tag: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + tag + label(u))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        children = []
+        if left[u] != -1:
+            children.append(("L:", int(left[u])))
+        if right[u] != -1:
+            children.append(("R:", int(right[u])))
+        for i, (t, c) in enumerate(children):
+            rec(c, child_prefix, t, i == len(children) - 1)
+
+    lines.append(label(int(root)))
+    children = []
+    if left[root] != -1:
+        children.append(("L:", int(left[root])))
+    if right[root] != -1:
+        children.append(("R:", int(right[root])))
+    for i, (t, c) in enumerate(children):
+        rec(c, "", t, i == len(children) - 1)
+    return "\n".join(lines)
+
+
+def render_binary_cotree(tree: BinaryCotree,
+                         names: Optional[Sequence[str]] = None) -> str:
+    """ASCII rendering of a binarized cotree."""
+    def label(u: int) -> str:
+        if tree.kind[u] == LEAF:
+            return _default_leaf_name(int(tree.leaf_vertex[u]), names)
+        return "(1)" if tree.kind[u] == JOIN else "(0)"
+    return render_binary_tree(tree.left, tree.right, tree.root, label)
+
+
+def render_forest(forest, names: Optional[Sequence[str]] = None,
+                  include_dummies: bool = True) -> str:
+    """ASCII rendering of a :class:`~repro.core.path_trees.PathForest`."""
+    def label(u: int) -> str:
+        if u >= forest.num_real:
+            return f"d{u - forest.num_real + 1}"
+        return _default_leaf_name(u, names)
+
+    parts = []
+    for root in forest.roots(include_dummies=include_dummies):
+        parts.append(render_binary_tree(forest.left, forest.right, int(root),
+                                        label))
+    return "\n\n".join(parts)
+
+
+def render_cover(cover: PathCover,
+                 names: Optional[Sequence[str]] = None) -> str:
+    """One line per path, e.g. ``path 1: a - b - c``."""
+    lines = []
+    for i, path in enumerate(cover.paths, start=1):
+        body = " - ".join(_default_leaf_name(v, names) for v in path)
+        lines.append(f"path {i}: {body}")
+    return "\n".join(lines)
+
+
+__all__.append("render_binary_cotree")

@@ -1,0 +1,158 @@
+"""Serialisation of cotrees, graphs and path covers.
+
+Two formats are supported:
+
+* a JSON document (``to_json`` / ``from_json``) that round-trips every field,
+  suitable for experiment artefacts;
+* a compact one-line text form for cotrees (``to_text`` / ``from_text``)
+  using ``*`` for join and ``+`` for union, e.g. ``(0 + (1 * 2))`` — handy in
+  examples, error messages and doctests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from ..cograph import Cotree, Graph, PathCover
+from ..cograph.cotree import JOIN, LEAF, UNION
+
+__all__ = [
+    "cotree_to_json", "cotree_from_json",
+    "cotree_to_text", "cotree_from_text",
+    "cover_to_json", "cover_from_json",
+    "graph_to_json", "graph_from_json",
+    "save_json", "load_json",
+]
+
+
+# --------------------------------------------------------------------------- #
+# cotrees
+# --------------------------------------------------------------------------- #
+
+def cotree_to_json(tree: Cotree) -> Dict:
+    """JSON-serialisable dict representation of a cotree."""
+    return {
+        "type": "cotree",
+        "kind": [int(k) for k in tree.kind],
+        "children": [list(map(int, c)) for c in tree.children],
+        "leaf_vertex": [int(v) for v in tree.leaf_vertex],
+        "root": int(tree.root),
+    }
+
+
+def cotree_from_json(data: Dict) -> Cotree:
+    """Inverse of :func:`cotree_to_json`."""
+    if data.get("type") != "cotree":
+        raise ValueError("not a serialised cotree")
+    return Cotree(data["kind"], data["children"], data["leaf_vertex"],
+                  data["root"])
+
+
+def cotree_to_text(tree: Cotree) -> str:
+    """Compact text form: ``*`` = join, ``+`` = union, leaves by vertex id."""
+    def rec(u: int) -> str:
+        if tree.kind[u] == LEAF:
+            return str(int(tree.leaf_vertex[u]))
+        sep = " * " if tree.kind[u] == JOIN else " + "
+        return "(" + sep.join(rec(c) for c in tree.children[u]) + ")"
+    return rec(tree.root)
+
+
+def cotree_from_text(text: str) -> Cotree:
+    """Parse the compact text form produced by :func:`cotree_to_text`."""
+    tokens = text.replace("(", " ( ").replace(")", " ) ") \
+                 .replace("*", " * ").replace("+", " + ").split()
+    pos = 0
+
+    def parse():
+        nonlocal pos
+        token = tokens[pos]
+        if token == "(":
+            pos += 1
+            children = [parse()]
+            op = None
+            while tokens[pos] != ")":
+                if tokens[pos] in ("*", "+"):
+                    new_op = "join" if tokens[pos] == "*" else "union"
+                    if op is not None and new_op != op:
+                        raise ValueError("mixed operators inside one group")
+                    op = new_op
+                    pos += 1
+                children.append(parse())
+            pos += 1
+            if op is None:
+                if len(children) != 1:
+                    raise ValueError("group without operator")
+                return children[0]
+            return tuple([op] + children)
+        pos += 1
+        return int(token)
+
+    spec = parse()
+    if pos != len(tokens):
+        raise ValueError("trailing input after cotree expression")
+    if isinstance(spec, int):
+        return Cotree.single_vertex(spec)
+    return Cotree.from_nested(spec).canonicalize()
+
+
+# --------------------------------------------------------------------------- #
+# covers and graphs
+# --------------------------------------------------------------------------- #
+
+def cover_to_json(cover: PathCover) -> Dict:
+    """JSON-serialisable dict of a path cover."""
+    return {"type": "path_cover", "paths": [list(map(int, p)) for p in cover.paths]}
+
+
+def cover_from_json(data: Dict) -> PathCover:
+    """Inverse of :func:`cover_to_json`."""
+    if data.get("type") != "path_cover":
+        raise ValueError("not a serialised path cover")
+    return PathCover([list(p) for p in data["paths"]])
+
+
+def graph_to_json(graph: Graph) -> Dict:
+    """JSON-serialisable dict of a graph (edge list)."""
+    return {"type": "graph", "n": graph.n,
+            "edges": [[int(u), int(v)] for u, v in graph.edges()]}
+
+
+def graph_from_json(data: Dict) -> Graph:
+    """Inverse of :func:`graph_to_json`."""
+    if data.get("type") != "graph":
+        raise ValueError("not a serialised graph")
+    return Graph(data["n"], [tuple(e) for e in data["edges"]])
+
+
+# --------------------------------------------------------------------------- #
+# files
+# --------------------------------------------------------------------------- #
+
+def save_json(obj: Union[Cotree, PathCover, Graph, Dict], path: str) -> None:
+    """Serialise a cotree / cover / graph (or a prepared dict) to a file."""
+    if isinstance(obj, Cotree):
+        data = cotree_to_json(obj)
+    elif isinstance(obj, PathCover):
+        data = cover_to_json(obj)
+    elif isinstance(obj, Graph):
+        data = graph_to_json(obj)
+    else:
+        data = obj
+    with open(path, "w", encoding="utf8") as fh:
+        json.dump(data, fh, indent=2)
+
+
+def load_json(path: str) -> Union[Cotree, PathCover, Graph, Dict]:
+    """Load a file produced by :func:`save_json`, dispatching on its type."""
+    with open(path, "r", encoding="utf8") as fh:
+        data = json.load(fh)
+    kind = data.get("type")
+    if kind == "cotree":
+        return cotree_from_json(data)
+    if kind == "path_cover":
+        return cover_from_json(data)
+    if kind == "graph":
+        return graph_from_json(data)
+    return data

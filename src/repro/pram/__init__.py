@@ -1,0 +1,24 @@
+"""PRAM cost-model simulator: machines, shared arrays, cost reports.
+
+The simulator is the substitute for the abstract parallel machine the paper's
+results are stated on; see DESIGN.md §2 for the substitution rationale and
+the accounting/honesty policy.
+"""
+
+from .errors import AccessConflictError, PRAMError, StepUsageError
+from .machine import AccessMode, PRAM, SharedArray, StepContext, StepRecord, optimal_processor_count
+from .tracing import CostReport, LabelCost
+
+__all__ = [
+    "AccessMode",
+    "PRAM",
+    "SharedArray",
+    "StepContext",
+    "StepRecord",
+    "CostReport",
+    "LabelCost",
+    "PRAMError",
+    "AccessConflictError",
+    "StepUsageError",
+    "optimal_processor_count",
+]

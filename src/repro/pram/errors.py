@@ -1,0 +1,28 @@
+"""Exception types raised by the PRAM simulator."""
+
+from __future__ import annotations
+
+__all__ = ["PRAMError", "AccessConflictError", "StepUsageError"]
+
+
+class PRAMError(RuntimeError):
+    """Base class for PRAM simulator errors."""
+
+
+class AccessConflictError(PRAMError):
+    """A memory access pattern violated the machine's access mode.
+
+    Raised, for example, when two virtual processors read the same cell in a
+    single EREW step, or write different values to the same cell in a
+    common-CRCW step.
+    """
+
+    def __init__(self, message: str, addresses=None):
+        super().__init__(message)
+        #: the offending addresses (possibly truncated), for diagnostics.
+        self.addresses = addresses
+
+
+class StepUsageError(PRAMError):
+    """A shared array was accessed outside a step, steps were nested
+    incorrectly, or a step was given inconsistent metadata."""

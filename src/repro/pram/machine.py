@@ -1,0 +1,412 @@
+"""A PRAM cost-model simulator.
+
+The paper's claims are stated in the PRAM model: a collection of synchronous
+processors sharing a memory, distinguished by how concurrent accesses to a
+single cell are resolved (EREW, CREW, CRCW).  Real parallel execution of the
+algorithm in CPython is neither possible (GIL) nor what the paper measures —
+the quantities of interest are the number of *synchronous steps* (parallel
+time) and the total number of elementary operations (*work*).
+
+:class:`PRAM` therefore does three jobs:
+
+1. **accounting** — every parallel primitive executes as a sequence of
+   *steps*; a step with ``a`` active virtual processors contributes
+   ``ceil(a / p)`` to the simulated time (Brent scheduling onto ``p``
+   physical processors) and ``a`` to the work;
+2. **access-mode checking** — the address traces declared by each step are
+   checked against the machine's mode, so an algorithm that claims to be
+   EREW actually is (concurrent reads raise
+   :class:`~repro.pram.errors.AccessConflictError`);
+3. **re-scaling** — per-step active counts are recorded, so the time on any
+   other processor count can be recomputed after the fact without re-running
+   the algorithm (:meth:`PRAM.time_for_processors`).
+
+A second accounting channel, :meth:`PRAM.charge`, exists for *cited*
+primitives: textbook subroutines (e.g. Cole's EREW merge sort) whose optimal
+PRAM cost is established in the literature but whose faithful implementation
+is outside the scope of this reproduction.  Charged costs are tracked
+separately so every report can show "executed" and "cited" numbers
+side by side (see DESIGN.md §2 for the honesty policy).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .errors import AccessConflictError, StepUsageError
+
+__all__ = ["AccessMode", "PRAM", "SharedArray", "StepContext", "StepRecord"]
+
+
+class AccessMode(enum.Enum):
+    """Concurrent-access policy of the simulated machine."""
+
+    #: exclusive read, exclusive write
+    EREW = "EREW"
+    #: concurrent read, exclusive write
+    CREW = "CREW"
+    #: concurrent read, concurrent write permitted only when all writers
+    #: write the same value
+    CRCW_COMMON = "CRCW-common"
+    #: concurrent read, concurrent write, an arbitrary writer wins
+    CRCW_ARBITRARY = "CRCW-arbitrary"
+
+    @property
+    def allows_concurrent_reads(self) -> bool:
+        return self is not AccessMode.EREW
+
+    @property
+    def allows_concurrent_writes(self) -> bool:
+        return self in (AccessMode.CRCW_COMMON, AccessMode.CRCW_ARBITRARY)
+
+
+@dataclass
+class StepRecord:
+    """One synchronous PRAM step (or one charged primitive)."""
+
+    label: str
+    active: int
+    time: int
+    work: int
+    reads: int = 0
+    writes: int = 0
+    charged: bool = False
+
+
+class SharedArray:
+    """A shared-memory array owned by a :class:`PRAM` machine.
+
+    All element accesses performed through :meth:`gather` / :meth:`scatter`
+    are declared to the machine's current step, which checks them against the
+    access mode.  The underlying NumPy array is available as :attr:`data`
+    for bulk initialisation and for reading results after an algorithm
+    finishes.
+    """
+
+    __slots__ = ("machine", "data", "name")
+
+    def __init__(self, machine: "PRAM", data: np.ndarray, name: str) -> None:
+        self.machine = machine
+        self.data = data
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Read ``data[idx]`` for all virtual processors of the current step."""
+        idx = np.asarray(idx, dtype=np.int64)
+        self.machine._declare_read(self, idx)
+        return self.data[idx]
+
+    def local(self, idx: np.ndarray) -> np.ndarray:
+        """Read ``data[idx]`` as the *owning* processors' private registers.
+
+        In the PRAM model each processor keeps the fields of the element it
+        owns in local registers across steps, so re-reading your own cell is
+        not a shared-memory access and cannot conflict with another
+        processor's read of the same cell.  ``local`` models exactly that:
+        the values are returned but not declared to the conflict checker and
+        not counted as shared reads.  Only use it for owner-indexed accesses
+        (processor ``i`` reading element ``i``).
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        return self.data[idx]
+
+    def scatter(self, idx: np.ndarray, values) -> None:
+        """Write ``values`` into ``data[idx]``; one cell per virtual processor."""
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values)
+        self.machine._declare_write(self, idx, values)
+        self.data[idx] = values
+
+    def fill(self, value) -> None:
+        """Bulk initialisation (not counted as a parallel step)."""
+        self.data[:] = value
+
+    def copy_out(self) -> np.ndarray:
+        """A copy of the current contents."""
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedArray(name={self.name!r}, len={len(self.data)})"
+
+
+class StepContext:
+    """Bookkeeping for a single synchronous step (created by :meth:`PRAM.step`)."""
+
+    def __init__(self, machine: "PRAM", label: str, active: Optional[int]) -> None:
+        self.machine = machine
+        self.label = label
+        self.active = active
+        self._reads: Dict[int, List[np.ndarray]] = {}
+        self._writes: Dict[int, List[np.ndarray]] = {}
+        self._write_values: Dict[int, List[np.ndarray]] = {}
+        self._arrays: Dict[int, SharedArray] = {}
+        self.n_reads = 0
+        self.n_writes = 0
+
+    # -- declaration ---------------------------------------------------- #
+
+    def declare_read(self, array: SharedArray, idx: np.ndarray) -> None:
+        key = id(array)
+        self._arrays[key] = array
+        self._reads.setdefault(key, []).append(idx)
+        self.n_reads += idx.size
+
+    def declare_write(self, array: SharedArray, idx: np.ndarray,
+                      values: np.ndarray) -> None:
+        key = id(array)
+        self._arrays[key] = array
+        self._writes.setdefault(key, []).append(idx)
+        self._write_values.setdefault(key, []).append(np.broadcast_to(values, idx.shape))
+        self.n_writes += idx.size
+
+    # -- conflict checking ---------------------------------------------- #
+
+    def check(self, mode: AccessMode) -> None:
+        if not mode.allows_concurrent_reads:
+            for key, chunks in self._reads.items():
+                self._check_unique(chunks, self._arrays[key], "read")
+        if not mode.allows_concurrent_writes:
+            for key, chunks in self._writes.items():
+                self._check_unique(chunks, self._arrays[key], "write")
+        elif mode is AccessMode.CRCW_COMMON:
+            for key, chunks in self._writes.items():
+                self._check_common(chunks, self._write_values[key],
+                                   self._arrays[key])
+
+    def _check_unique(self, chunks: List[np.ndarray], array: SharedArray,
+                      what: str) -> None:
+        idx = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        if idx.size <= 1:
+            return
+        unique, counts = np.unique(idx, return_counts=True)
+        bad = unique[counts > 1]
+        if bad.size:
+            raise AccessConflictError(
+                f"concurrent {what} of {bad.size} cell(s) of array "
+                f"{array.name!r} in step {self.label!r} (e.g. address "
+                f"{int(bad[0])}) violates the "
+                f"{'EREW' if what == 'read' else 'exclusive-write'} rule",
+                addresses=bad[:16].tolist())
+
+    def _check_common(self, chunks: List[np.ndarray],
+                      value_chunks: List[np.ndarray],
+                      array: SharedArray) -> None:
+        idx = np.concatenate(chunks)
+        vals = np.concatenate([np.asarray(v).ravel() for v in value_chunks])
+        order = np.argsort(idx, kind="stable")
+        idx_sorted = idx[order]
+        vals_sorted = vals[order]
+        same_as_prev = idx_sorted[1:] == idx_sorted[:-1]
+        conflicting = same_as_prev & (vals_sorted[1:] != vals_sorted[:-1])
+        if np.any(conflicting):
+            where = np.flatnonzero(conflicting)[0]
+            raise AccessConflictError(
+                f"common-CRCW violation on array {array.name!r} in step "
+                f"{self.label!r}: address {int(idx_sorted[where + 1])} written "
+                f"with different values",
+                addresses=[int(idx_sorted[where + 1])])
+
+
+class PRAM:
+    """The simulated machine.  See the module docstring for the model.
+
+    Parameters
+    ----------
+    num_processors:
+        number of physical processors for Brent scheduling; ``None`` means
+        "as many as needed" (each step then costs one time unit).
+    mode:
+        the concurrent-access policy (:class:`AccessMode`).
+    check_conflicts:
+        when True (default) the address traces of every step are checked
+        against ``mode``.
+    record_steps:
+        when True every step is kept in :attr:`steps` for detailed reports.
+    """
+
+    def __init__(
+        self,
+        num_processors: Optional[int] = None,
+        mode: Union[AccessMode, str] = AccessMode.EREW,
+        *,
+        check_conflicts: bool = True,
+        record_steps: bool = False,
+    ) -> None:
+        if isinstance(mode, str):
+            mode = AccessMode(mode)
+        if num_processors is not None and num_processors < 1:
+            raise ValueError("num_processors must be >= 1 or None")
+        self.num_processors = num_processors
+        self.mode = mode
+        self.check_conflicts = check_conflicts
+        self.record_steps = record_steps
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # factories
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def null(cls) -> "PRAM":
+        """A machine with checking and recording disabled — used when an
+        algorithm is run purely for its output."""
+        return cls(None, AccessMode.CRCW_ARBITRARY, check_conflicts=False,
+                   record_steps=False)
+
+    @classmethod
+    def erew(cls, n: int, *, record_steps: bool = False) -> "PRAM":
+        """The paper's machine: an EREW PRAM with ``ceil(n / log2 n)``
+        processors for an input of size ``n``."""
+        p = optimal_processor_count(n)
+        return cls(p, AccessMode.EREW, record_steps=record_steps)
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Clear all accounting."""
+        self.time = 0
+        self.work = 0
+        self.rounds = 0
+        self.charged_time = 0
+        self.charged_work = 0
+        self.steps: List[StepRecord] = []
+        self._active_counts: List[int] = []
+        self._charged_records: List[StepRecord] = []
+        self._current: Optional[StepContext] = None
+
+    # ------------------------------------------------------------------ #
+    # memory
+    # ------------------------------------------------------------------ #
+
+    def array(self, source, dtype=np.int64, name: str = "mem") -> SharedArray:
+        """Allocate a shared array.
+
+        ``source`` is either an integer length (zero-initialised) or an
+        array-like whose contents are copied in.
+        """
+        if isinstance(source, (int, np.integer)):
+            data = np.zeros(int(source), dtype=dtype)
+        else:
+            data = np.array(source, dtype=dtype)
+        return SharedArray(self, data, name)
+
+    # ------------------------------------------------------------------ #
+    # steps
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def step(self, active: Optional[int] = None, label: str = "step") -> Iterator[StepContext]:
+        """Context manager for one synchronous step.
+
+        ``active`` is the number of virtual processors participating; when
+        omitted it is inferred as the maximum of the declared read/write
+        sizes.  All :meth:`SharedArray.gather`/:meth:`SharedArray.scatter`
+        calls made inside the ``with`` block belong to this step.
+        """
+        if self._current is not None:
+            raise StepUsageError("PRAM steps cannot be nested")
+        ctx = StepContext(self, label, active)
+        self._current = ctx
+        try:
+            yield ctx
+        finally:
+            self._current = None
+        if self.check_conflicts:
+            ctx.check(self.mode)
+        a = ctx.active
+        if a is None:
+            a = max(ctx.n_reads, ctx.n_writes, 1)
+        self._account(label, int(a), ctx.n_reads, ctx.n_writes)
+
+    def _account(self, label: str, active: int, reads: int, writes: int) -> None:
+        t = 1 if self.num_processors is None else math.ceil(active / self.num_processors)
+        t = max(t, 1)
+        self.time += t
+        self.work += active
+        self.rounds += 1
+        self._active_counts.append(active)
+        if self.record_steps:
+            self.steps.append(StepRecord(label, active, t, active, reads, writes))
+
+    def charge(self, label: str, *, time: int, work: int) -> None:
+        """Account for a *cited* primitive without executing it step by step.
+
+        The cost is tracked separately from executed steps so reports can
+        distinguish the two channels.
+        """
+        self.charged_time += int(time)
+        self.charged_work += int(work)
+        rec = StepRecord(label, 0, int(time), int(work), charged=True)
+        self._charged_records.append(rec)
+        if self.record_steps:
+            self.steps.append(rec)
+
+    # ------------------------------------------------------------------ #
+    # declarations (called by SharedArray)
+    # ------------------------------------------------------------------ #
+
+    def _declare_read(self, array: SharedArray, idx: np.ndarray) -> None:
+        if self._current is None:
+            raise StepUsageError(
+                f"gather on {array.name!r} outside of a machine step")
+        self._current.declare_read(array, idx)
+
+    def _declare_write(self, array: SharedArray, idx: np.ndarray,
+                       values: np.ndarray) -> None:
+        if self._current is None:
+            raise StepUsageError(
+                f"scatter on {array.name!r} outside of a machine step")
+        self._current.declare_write(array, idx, values)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def time_for_processors(self, p: int) -> int:
+        """Simulated time had the same algorithm run on ``p`` processors
+        (Brent's scheduling principle applied to the recorded steps)."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return int(sum(math.ceil(a / p) for a in self._active_counts))
+
+    @property
+    def total_time(self) -> int:
+        """Executed plus charged time."""
+        return self.time + self.charged_time
+
+    @property
+    def total_work(self) -> int:
+        """Executed plus charged work."""
+        return self.work + self.charged_work
+
+    def report(self):
+        """A :class:`~repro.pram.tracing.CostReport` snapshot of the counters."""
+        from .tracing import CostReport
+        return CostReport.from_machine(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = "inf" if self.num_processors is None else str(self.num_processors)
+        return (f"PRAM(mode={self.mode.value}, p={p}, rounds={self.rounds}, "
+                f"time={self.time}, work={self.work})")
+
+
+def optimal_processor_count(n: int) -> int:
+    """``ceil(n / log2 n)`` — the processor count of the paper's Theorem 5.3."""
+    if n <= 2:
+        return 1
+    return max(1, math.ceil(n / math.log2(n)))

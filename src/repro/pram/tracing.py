@@ -1,0 +1,120 @@
+"""Cost reports and per-label breakdowns for the PRAM simulator."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CostReport", "LabelCost"]
+
+
+@dataclass
+class LabelCost:
+    """Aggregated cost of all steps sharing a label."""
+
+    label: str
+    rounds: int = 0
+    time: int = 0
+    work: int = 0
+    charged: bool = False
+
+    def add(self, time: int, work: int) -> None:
+        self.rounds += 1
+        self.time += time
+        self.work += work
+
+
+@dataclass
+class CostReport:
+    """A snapshot of a :class:`~repro.pram.machine.PRAM` machine's counters.
+
+    Attributes
+    ----------
+    mode:
+        access mode name ("EREW", ...).
+    num_processors:
+        configured processor count (``None`` = unbounded).
+    rounds:
+        number of executed synchronous steps.
+    time, work:
+        executed time and work (Brent-scheduled).
+    charged_time, charged_work:
+        costs charged for cited primitives (see ``PRAM.charge``).
+    by_label:
+        per-label aggregation when the machine recorded steps.
+    """
+
+    mode: str
+    num_processors: Optional[int]
+    rounds: int
+    time: int
+    work: int
+    charged_time: int
+    charged_work: int
+    by_label: Dict[str, LabelCost] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_machine(cls, machine) -> "CostReport":
+        by_label: Dict[str, LabelCost] = {}
+        for rec in machine.steps:
+            entry = by_label.setdefault(
+                rec.label, LabelCost(rec.label, charged=rec.charged))
+            entry.add(rec.time, rec.work)
+        return cls(
+            mode=machine.mode.value,
+            num_processors=machine.num_processors,
+            rounds=machine.rounds,
+            time=machine.time,
+            work=machine.work,
+            charged_time=machine.charged_time,
+            charged_work=machine.charged_work,
+            by_label=by_label,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_time(self) -> int:
+        """Executed plus charged time."""
+        return self.time + self.charged_time
+
+    @property
+    def total_work(self) -> int:
+        """Executed plus charged work."""
+        return self.work + self.charged_work
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (used by the experiment harness for tables)."""
+        return {
+            "mode": self.mode,
+            "num_processors": self.num_processors,
+            "rounds": self.rounds,
+            "time": self.time,
+            "work": self.work,
+            "charged_time": self.charged_time,
+            "charged_work": self.charged_work,
+            "total_time": self.total_time,
+            "total_work": self.total_work,
+        }
+
+    def __str__(self) -> str:
+        p = "unbounded" if self.num_processors is None else self.num_processors
+        lines = [
+            f"PRAM cost report ({self.mode}, p={p})",
+            f"  executed: {self.rounds} rounds, time={self.time}, work={self.work}",
+        ]
+        if self.charged_time or self.charged_work:
+            lines.append(f"  charged (cited primitives): time={self.charged_time}, "
+                         f"work={self.charged_work}")
+            lines.append(f"  total: time={self.total_time}, work={self.total_work}")
+        if self.by_label:
+            lines.append("  by label:")
+            for label, cost in sorted(self.by_label.items(),
+                                      key=lambda kv: -kv[1].work):
+                tag = " (charged)" if cost.charged else ""
+                lines.append(f"    {label:<28s} rounds={cost.rounds:<6d} "
+                             f"time={cost.time:<8d} work={cost.work}{tag}")
+        return "\n".join(lines)

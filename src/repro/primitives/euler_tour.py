@@ -1,0 +1,174 @@
+"""The Euler-tour technique for (binary) trees and forests — Lemma 5.2(1).
+
+Every node ``v`` of a rooted binary tree contributes two *arcs* to the tour:
+``enter(v)`` (the first visit, coming from the parent) and ``exit(v)`` (the
+final departure back to the parent).  The tour of the whole tree is the
+linked list
+
+    enter(root), ..., exit(root)
+
+obtained from the local successor rules
+
+* ``succ(enter(v))`` = ``enter(left(v))`` if it exists, else
+  ``enter(right(v))`` if it exists, else ``exit(v)``;
+* ``succ(exit(v))`` = ``enter(right(parent))`` when ``v`` is a left child and
+  a right sibling exists, else ``exit(parent)``, else the end of the tour.
+
+Computing the successor array is a single O(1)-depth data-parallel step;
+positions along the tour are then obtained by list ranking, after which every
+tree statistic the paper needs (preorder/inorder/postorder numbers, depths,
+subtree sizes, leaf counts) is a prefix sum over the tour order
+(:mod:`repro.primitives.tree_numbering`).
+
+Forests are handled by chaining the individual tours one after another, which
+keeps all prefix computations correct per tree while using a single list
+ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..pram import PRAM
+from .list_ranking import list_ranks
+from .scan import prefix_sum
+
+__all__ = ["EulerTour", "build_euler_tour"]
+
+
+@dataclass
+class EulerTour:
+    """The Euler tour of a binary forest.
+
+    Arc ``v`` (``0 <= v < n``) is ``enter(v)``; arc ``n + v`` is ``exit(v)``.
+
+    Attributes
+    ----------
+    successor:
+        successor arc of each arc (``-1`` at the end of the chained tour).
+    position:
+        position of each arc along the (chained) tour, ``0`` first.
+    num_nodes:
+        number of tree nodes ``n`` (the tour has ``2n`` arcs).
+    roots:
+        the forest's root nodes, in the order their tours were chained.
+    """
+
+    successor: np.ndarray
+    position: np.ndarray
+    num_nodes: int
+    roots: np.ndarray
+
+    def enter(self, nodes) -> np.ndarray:
+        """Arc ids of ``enter(v)`` for the given nodes."""
+        return np.asarray(nodes, dtype=np.int64)
+
+    def exit(self, nodes) -> np.ndarray:
+        """Arc ids of ``exit(v)`` for the given nodes."""
+        return np.asarray(nodes, dtype=np.int64) + self.num_nodes
+
+    def enter_position(self, nodes) -> np.ndarray:
+        """Tour positions of the enter arcs."""
+        return self.position[self.enter(nodes)]
+
+    def exit_position(self, nodes) -> np.ndarray:
+        """Tour positions of the exit arcs."""
+        return self.position[self.exit(nodes)]
+
+    def values_by_position(self, arc_values: np.ndarray) -> np.ndarray:
+        """Permute per-arc values into tour order (position-indexed array)."""
+        out = np.zeros(2 * self.num_nodes, dtype=np.asarray(arc_values).dtype)
+        out[self.position] = arc_values
+        return out
+
+    def prefix_over_tour(self, machine: Optional[PRAM], arc_values,
+                         *, inclusive: bool = True,
+                         label: str = "tour-prefix") -> np.ndarray:
+        """Prefix sums of per-arc values taken in tour order.
+
+        Returns an array indexed by *arc id* whose entry is the prefix sum of
+        ``arc_values`` over all arcs up to (and, if ``inclusive``, including)
+        that arc in tour order.
+        """
+        if machine is None:
+            machine = PRAM.null()
+        arc_values = np.asarray(arc_values, dtype=np.int64)
+        by_pos = machine.array(2 * self.num_nodes, name=f"{label}.by-pos")
+        arcs = np.arange(2 * self.num_nodes, dtype=np.int64)
+        with machine.step(active=2 * self.num_nodes, label=f"{label}:permute"):
+            # positions form a permutation, so the scatter is exclusive
+            by_pos.scatter(self.position[arcs], arc_values[arcs])
+        scanned = prefix_sum(machine, by_pos.data, inclusive=inclusive,
+                             label=label)
+        out_arr = machine.array(2 * self.num_nodes, name=f"{label}.out")
+        with machine.step(active=2 * self.num_nodes, label=f"{label}:permute-back"):
+            out_arr.scatter(arcs, scanned[self.position[arcs]])
+        return out_arr.data.copy()
+
+
+def build_euler_tour(machine: Optional[PRAM], left, right, parent,
+                     roots: Sequence[int], *, work_efficient: bool = True,
+                     label: str = "euler") -> EulerTour:
+    """Build the Euler tour of a binary forest and rank it.
+
+    Parameters
+    ----------
+    machine:
+        PRAM to account on (``None`` for no accounting).
+    left, right, parent:
+        binary-tree arrays (``-1`` where absent).
+    roots:
+        root node of every tree in the forest; their tours are chained in
+        the given order.
+    work_efficient:
+        choose the work-efficient list ranking (default) or Wyllie pointer
+        jumping.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    parent = np.asarray(parent, dtype=np.int64)
+    roots = np.asarray(list(roots), dtype=np.int64)
+    n = len(left)
+    if machine is None:
+        machine = PRAM.null()
+    if n == 0:
+        return EulerTour(np.empty(0, dtype=np.int64),
+                         np.empty(0, dtype=np.int64), 0, roots)
+
+    succ = machine.array(np.full(2 * n, -1, dtype=np.int64), name=f"{label}.succ")
+    nodes = np.arange(n, dtype=np.int64)
+
+    with machine.step(active=n, label=f"{label}:successors"):
+        l = left  # noqa: E741 - mirrors the paper's notation
+        r = right
+        p = parent
+        # successor of enter(v)
+        enter_succ = np.where(l != -1, l,            # go down-left
+                     np.where(r != -1, r,            # or down-right
+                              nodes + n))            # or bounce to exit(v)
+        # successor of exit(v)
+        has_parent = p != -1
+        is_left = np.zeros(n, dtype=bool)
+        idx = np.flatnonzero(has_parent)
+        is_left[idx] = left[p[idx]] == idx
+        right_sibling = np.full(n, -1, dtype=np.int64)
+        right_sibling[idx] = np.where(is_left[idx], right[p[idx]], -1)
+        exit_succ = np.where(right_sibling != -1, right_sibling,
+                    np.where(has_parent, p + n, -1))
+        succ.scatter(nodes, enter_succ)
+        succ.scatter(nodes + n, exit_succ)
+
+    # chain the individual tours: exit(root_i) -> enter(root_{i+1})
+    if len(roots) > 1:
+        with machine.step(active=len(roots) - 1, label=f"{label}:chain"):
+            succ.scatter(roots[:-1] + n, roots[1:])
+
+    # suffix sums with unit weights give "number of arcs from here to the
+    # end"; position = total - suffix.
+    ranks = list_ranks(machine, succ.data, None, work_efficient=work_efficient,
+                       label=f"{label}:rank")
+    position = (2 * n - ranks).astype(np.int64)
+    return EulerTour(succ.data.copy(), position, n, roots)

@@ -1,0 +1,203 @@
+"""Parallel prefix sums (scan) on the PRAM simulator — Lemma 5.1(2).
+
+Two variants are provided:
+
+* :func:`prefix_sum` — the work-efficient Blelloch up-sweep/down-sweep scan:
+  ``2 ceil(log2 n)`` rounds and ``O(n)`` work, EREW-safe;
+* :func:`prefix_sum_hillis_steele` — the simpler ``log n``-round,
+  ``O(n log n)``-work scan, kept for the primitive ablation benchmarks.
+
+Both return ordinary NumPy arrays; accounting happens on the supplied
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..pram import PRAM
+
+__all__ = ["prefix_sum", "prefix_sum_hillis_steele", "total_sum", "prefix_max"]
+
+#: identity element used by :func:`prefix_max` (small enough that adding
+#: indices never overflows, large enough to be below any real value).
+NEG_INF = np.int64(-(2 ** 62))
+
+
+def _as_int_array(values) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.dtype == bool:
+        arr = arr.astype(np.int64)
+    return arr.astype(np.int64, copy=False)
+
+
+def prefix_sum(machine: Optional[PRAM], values, *, inclusive: bool = True,
+               label: str = "scan") -> np.ndarray:
+    """Work-efficient parallel prefix sums.
+
+    Parameters
+    ----------
+    machine:
+        the :class:`~repro.pram.PRAM` to account on; ``None`` runs without
+        accounting (still producing identical output).
+    values:
+        integer (or boolean) sequence.
+    inclusive:
+        ``True`` for inclusive scan ``a_1, a_1+a_2, ...``; ``False`` for the
+        exclusive scan ``0, a_1, a_1+a_2, ...``.
+
+    Returns
+    -------
+    numpy.ndarray
+        the scanned array, same length as the input.
+    """
+    x = _as_int_array(values)
+    n = len(x)
+    if machine is None:
+        machine = PRAM.null()
+    if n == 0:
+        return x.copy()
+
+    m = 1 << max(1, int(np.ceil(np.log2(max(n, 2)))))
+    buf = machine.array(m, name=f"{label}.buffer")
+    buf.data[:n] = x
+
+    # up-sweep (reduce)
+    d = 1
+    while d < m:
+        right = np.arange(2 * d - 1, m, 2 * d, dtype=np.int64)
+        left = right - d
+        with machine.step(active=len(right), label=f"{label}:up"):
+            a = buf.gather(left)
+            b = buf.gather(right)
+            buf.scatter(right, a + b)
+        d *= 2
+
+    # down-sweep (exclusive scan)
+    buf.data[m - 1] = 0
+    d = m // 2
+    while d >= 1:
+        right = np.arange(2 * d - 1, m, 2 * d, dtype=np.int64)
+        left = right - d
+        with machine.step(active=len(right), label=f"{label}:down"):
+            t = buf.gather(left)
+            r = buf.gather(right)
+            buf.scatter(left, r)
+            buf.scatter(right, t + r)
+        d //= 2
+
+    exclusive = buf.data[:n]
+    if not inclusive:
+        return exclusive.copy()
+
+    out = machine.array(n, name=f"{label}.out")
+    src = machine.array(x, name=f"{label}.in")
+    idx = np.arange(n, dtype=np.int64)
+    with machine.step(active=n, label=f"{label}:add-self"):
+        e = machine.array(exclusive, name=f"{label}.excl")
+        out.scatter(idx, e.gather(idx) + src.gather(idx))
+    return out.data.copy()
+
+
+def prefix_max(machine: Optional[PRAM], values, *, inclusive: bool = True,
+               label: str = "scan-max") -> np.ndarray:
+    """Work-efficient parallel prefix *maximum* (same sweep structure as
+    :func:`prefix_sum`, with ``max`` as the associative operator and
+    :data:`NEG_INF` as its identity)."""
+    x = _as_int_array(values)
+    n = len(x)
+    if machine is None:
+        machine = PRAM.null()
+    if n == 0:
+        return x.copy()
+
+    m = 1 << max(1, int(np.ceil(np.log2(max(n, 2)))))
+    buf = machine.array(np.full(m, NEG_INF, dtype=np.int64), name=f"{label}.buffer")
+    buf.data[:n] = x
+
+    d = 1
+    while d < m:
+        right = np.arange(2 * d - 1, m, 2 * d, dtype=np.int64)
+        left = right - d
+        with machine.step(active=len(right), label=f"{label}:up"):
+            a = buf.gather(left)
+            b = buf.gather(right)
+            buf.scatter(right, np.maximum(a, b))
+        d *= 2
+
+    buf.data[m - 1] = NEG_INF
+    d = m // 2
+    while d >= 1:
+        right = np.arange(2 * d - 1, m, 2 * d, dtype=np.int64)
+        left = right - d
+        with machine.step(active=len(right), label=f"{label}:down"):
+            t = buf.gather(left)
+            r = buf.gather(right)
+            buf.scatter(left, r)
+            buf.scatter(right, np.maximum(t, r))
+        d //= 2
+
+    exclusive = buf.data[:n]
+    if not inclusive:
+        return exclusive.copy()
+    out = machine.array(n, name=f"{label}.out")
+    src = machine.array(x, name=f"{label}.in")
+    idx = np.arange(n, dtype=np.int64)
+    with machine.step(active=n, label=f"{label}:max-self"):
+        e = machine.array(exclusive, name=f"{label}.excl")
+        out.scatter(idx, np.maximum(e.gather(idx), src.gather(idx)))
+    return out.data.copy()
+
+
+def prefix_sum_hillis_steele(machine: Optional[PRAM], values, *,
+                             inclusive: bool = True,
+                             label: str = "scan-hs") -> np.ndarray:
+    """The simple (non work-efficient) scan: ``ceil(log2 n)`` rounds, each
+    with ``n`` active processors (``O(n log n)`` work)."""
+    x = _as_int_array(values)
+    n = len(x)
+    if machine is None:
+        machine = PRAM.null()
+    if n == 0:
+        return x.copy()
+    buf = machine.array(x, name=f"{label}.buffer")
+    d = 1
+    while d < n:
+        idx = np.arange(d, n, dtype=np.int64)
+        with machine.step(active=n, label=f"{label}:jump"):
+            shifted = buf.gather(idx - d)
+            cur = buf.local(idx)   # own cell: kept in the processor's register
+            buf.scatter(idx, cur + shifted)
+        d *= 2
+    result = buf.data.copy()
+    if inclusive:
+        return result
+    out = np.empty_like(result)
+    out[0] = 0
+    out[1:] = result[:-1]
+    return out
+
+
+def total_sum(machine: Optional[PRAM], values, *, label: str = "reduce") -> int:
+    """Parallel reduction (sum) — ``ceil(log2 n)`` rounds, ``O(n)`` work."""
+    x = _as_int_array(values)
+    n = len(x)
+    if n == 0:
+        return 0
+    if machine is None:
+        machine = PRAM.null()
+    m = 1 << max(1, int(np.ceil(np.log2(max(n, 2)))))
+    buf = machine.array(m, name=f"{label}.buffer")
+    buf.data[:n] = x
+    d = 1
+    while d < m:
+        right = np.arange(2 * d - 1, m, 2 * d, dtype=np.int64)
+        left = right - d
+        with machine.step(active=len(right), label=f"{label}:up"):
+            a = buf.gather(left)
+            b = buf.gather(right)
+            buf.scatter(right, a + b)
+        d *= 2
+    return int(buf.data[m - 1])

@@ -1,0 +1,117 @@
+"""Tree numberings derived from the Euler tour — Lemma 5.2(2)-(3).
+
+Given a binary forest, this module computes (all in ``O(log n)`` rounds and
+``O(n)`` work on top of one Euler tour):
+
+* preorder, inorder and postorder numbers,
+* depths,
+* subtree sizes and subtree *leaf* counts ``L(u)`` (the quantity the paper's
+  Step 2 needs),
+
+each as a plain NumPy array indexed by node id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..pram import PRAM
+from .euler_tour import EulerTour, build_euler_tour
+
+__all__ = ["TreeNumbers", "compute_tree_numbers"]
+
+
+@dataclass
+class TreeNumbers:
+    """Bundle of per-node tree statistics (arrays indexed by node id)."""
+
+    preorder: np.ndarray
+    inorder: np.ndarray
+    postorder: np.ndarray
+    depth: np.ndarray
+    subtree_size: np.ndarray
+    subtree_leaves: np.ndarray
+    tour: EulerTour
+
+
+def compute_tree_numbers(machine: Optional[PRAM], left, right, parent,
+                         roots: Sequence[int], *,
+                         work_efficient: bool = True,
+                         label: str = "numbering") -> TreeNumbers:
+    """Compute all tree numberings for a binary forest.
+
+    ``left``, ``right`` and ``parent`` are the usual child/parent arrays with
+    ``-1`` for "absent"; ``roots`` lists the forest's roots (their tours are
+    chained, so pre/in/post-order numbers are global but consistent with a
+    left-to-right traversal of the forest).
+
+    Inorder numbers are assigned to *every* node: a leaf is visited when it
+    is entered, an internal node is visited when the tour returns from its
+    left subtree (for nodes with only a right child, at the enter arc; this
+    matches the usual inorder convention for binary trees).
+    """
+    if machine is None:
+        machine = PRAM.null()
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    parent = np.asarray(parent, dtype=np.int64)
+    n = len(left)
+    tour = build_euler_tour(machine, left, right, parent, roots,
+                            work_efficient=work_efficient, label=f"{label}.euler")
+    nodes = np.arange(n, dtype=np.int64)
+    enter = tour.enter(nodes)
+    exit_ = tour.exit(nodes)
+    is_leaf = (left == -1) & (right == -1)
+
+    # --- preorder: +1 at every enter arc ------------------------------- #
+    arc_vals = np.zeros(2 * n, dtype=np.int64)
+    arc_vals[enter] = 1
+    pre_prefix = tour.prefix_over_tour(machine, arc_vals, inclusive=True,
+                                       label=f"{label}.pre")
+    preorder = pre_prefix[enter] - 1
+
+    # --- postorder: +1 at every exit arc -------------------------------- #
+    arc_vals = np.zeros(2 * n, dtype=np.int64)
+    arc_vals[exit_] = 1
+    post_prefix = tour.prefix_over_tour(machine, arc_vals, inclusive=True,
+                                        label=f"{label}.post")
+    postorder = post_prefix[exit_] - 1
+
+    # --- depth: +1 at enter, -1 at exit --------------------------------- #
+    arc_vals = np.zeros(2 * n, dtype=np.int64)
+    arc_vals[enter] = 1
+    arc_vals[exit_] = -1
+    depth_prefix = tour.prefix_over_tour(machine, arc_vals, inclusive=True,
+                                         label=f"{label}.depth")
+    depth = depth_prefix[enter] - 1
+    # chaining tours keeps the running sum at zero between trees, so depths
+    # remain relative to each tree's own root.
+
+    # --- subtree size: half the number of arcs strictly inside [enter, exit]
+    subtree_size = (tour.position[exit_] - tour.position[enter] + 1) // 2
+
+    # --- subtree leaf count L(u): leaves entered within [enter(u), exit(u)]
+    arc_vals = np.zeros(2 * n, dtype=np.int64)
+    arc_vals[enter[is_leaf]] = 1
+    leaf_prefix = tour.prefix_over_tour(machine, arc_vals, inclusive=True,
+                                        label=f"{label}.leaves")
+    subtree_leaves = leaf_prefix[exit_] - leaf_prefix[enter] + is_leaf.astype(np.int64)
+
+    # --- inorder --------------------------------------------------------- #
+    # visit tick: leaves at their enter arc; internal nodes with a left child
+    # at exit(left child); internal nodes without a left child at their enter
+    # arc.
+    tick_arc = np.where(is_leaf, enter,
+               np.where(left != -1, tour.exit(np.maximum(left, 0)), enter))
+    arc_vals = np.zeros(2 * n, dtype=np.int64)
+    arc_vals[tick_arc] = 1
+    in_prefix = tour.prefix_over_tour(machine, arc_vals, inclusive=True,
+                                      label=f"{label}.inorder")
+    inorder = in_prefix[tick_arc] - 1
+
+    return TreeNumbers(preorder=preorder, inorder=inorder, postorder=postorder,
+                       depth=depth, subtree_size=subtree_size,
+                       subtree_leaves=subtree_leaves, tour=tour)

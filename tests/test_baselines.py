@@ -1,0 +1,171 @@
+"""Tests for the baseline algorithms (sequential, brute force, greedy, and the
+emulated prior parallel algorithms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (
+    EmulatedCost,
+    adhar_peng_path_cover,
+    brute_force_path_cover,
+    brute_force_path_cover_size,
+    greedy_path_cover,
+    lin_suboptimal_path_cover,
+    naive_parallel_path_cover,
+    sequential_path_cover,
+)
+from repro.cograph import (
+    CographAdjacencyOracle,
+    Cotree,
+    Graph,
+    balanced_cotree,
+    binarize_cotree,
+    caterpillar_cotree,
+    clique,
+    complete_bipartite,
+    independent_set,
+    join_of_independent_sets,
+    minimum_path_cover_size,
+    random_cotree,
+    union_of_cliques,
+)
+from .conftest import nested_cotree_specs
+
+
+class TestSequential:
+    def test_named_families(self, small_named_cotrees):
+        for name, tree in small_named_cotrees.items():
+            cover = sequential_path_cover(tree)
+            cover.validate(CographAdjacencyOracle(tree),
+                           expected_num_vertices=tree.num_vertices,
+                           expected_num_paths=minimum_path_cover_size(tree))
+
+    @pytest.mark.parametrize("n,seed,jp", [(10, 0, 0.3), (25, 1, 0.5),
+                                           (60, 2, 0.7), (120, 3, 0.4),
+                                           (250, 4, 0.6)])
+    def test_random(self, n, seed, jp):
+        tree = random_cotree(n, seed=seed, join_prob=jp)
+        cover = sequential_path_cover(tree)
+        cover.validate(CographAdjacencyOracle(tree),
+                       expected_num_paths=minimum_path_cover_size(tree))
+
+    def test_single_vertex(self):
+        assert sequential_path_cover(Cotree.single_vertex(4)).paths == [[4]]
+
+    def test_accepts_binary_input(self):
+        tree = random_cotree(30, seed=5)
+        cover = sequential_path_cover(binarize_cotree(tree))
+        assert cover.num_paths == minimum_path_cover_size(tree)
+
+    def test_stats_are_linear(self):
+        """Total operation count grows linearly in n (Lemma 2.3)."""
+        ops = {}
+        for n in (256, 1024):
+            tree = random_cotree(n, seed=n, join_prob=0.5)
+            _, stats = sequential_path_cover(tree, return_stats=True)
+            ops[n] = stats.total_operations
+        assert ops[1024] < 6 * ops[256]
+
+    def test_stats_fields(self):
+        tree = join_of_independent_sets([3, 3])
+        cover, stats = sequential_path_cover(tree, return_stats=True)
+        assert stats.num_vertices == 6
+        assert stats.bridge_operations + stats.insert_operations == 3
+        assert stats.total_operations > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(nested_cotree_specs(max_leaves=9))
+    def test_hypothesis_specs(self, spec):
+        tree = (Cotree.single_vertex(spec) if isinstance(spec, int)
+                else Cotree.from_nested(spec).canonicalize())
+        cover = sequential_path_cover(tree)
+        cover.validate(CographAdjacencyOracle(tree),
+                       expected_num_vertices=tree.num_vertices,
+                       expected_num_paths=minimum_path_cover_size(tree))
+
+    def test_deep_caterpillar(self):
+        tree = caterpillar_cotree(800)
+        cover = sequential_path_cover(tree)
+        assert cover.num_paths == minimum_path_cover_size(tree)
+
+
+class TestBruteForce:
+    def test_small_known(self):
+        assert brute_force_path_cover_size(Graph.from_cotree(clique(4))) == 1
+        assert brute_force_path_cover_size(Graph.from_cotree(independent_set(4))) == 4
+        assert brute_force_path_cover_size(Graph(0)) == 0
+
+    def test_non_cograph_input(self):
+        # P5 (a path) has a Hamiltonian path trivially
+        g = Graph(5, [(i, i + 1) for i in range(4)])
+        assert brute_force_path_cover_size(g) == 1
+        cover = brute_force_path_cover(g)
+        cover.validate(g, expected_num_paths=1)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            brute_force_path_cover_size(Graph(17))
+
+    def test_witness_matches_size(self):
+        for seed in range(8):
+            tree = random_cotree(6, seed=seed)
+            g = Graph.from_cotree(tree)
+            cover = brute_force_path_cover(g)
+            cover.validate(g)
+            assert cover.num_paths == brute_force_path_cover_size(g)
+
+
+class TestGreedy:
+    def test_valid_on_random_cographs(self):
+        for seed in range(6):
+            tree = random_cotree(30, seed=seed)
+            g = Graph.from_cotree(tree)
+            cover = greedy_path_cover(g)
+            cover.validate(g)
+            assert cover.num_paths >= minimum_path_cover_size(tree)
+
+    def test_greedy_never_beats_the_optimum(self):
+        """Sanity: the heuristic can never use fewer paths than the analytic
+        minimum (and on these small instances the degree heuristic happens to
+        do well — the point of the baseline is that it offers no guarantee,
+        see the A1 ablation for the quantified gap of non-optimal orderings)."""
+        gaps = []
+        for seed in range(40):
+            tree = random_cotree(12, seed=seed, join_prob=0.35)
+            g = Graph.from_cotree(tree)
+            gaps.append(greedy_path_cover(g).num_paths
+                        - minimum_path_cover_size(tree))
+        assert min(gaps) >= 0
+
+    def test_empty_and_trivial(self):
+        assert greedy_path_cover(Graph(0)).num_paths == 0
+        assert greedy_path_cover(Graph(1)).paths == [[0]]
+
+
+class TestEmulatedPriorParallel:
+    def test_covers_are_optimal(self):
+        tree = random_cotree(90, seed=3, join_prob=0.5)
+        expect = minimum_path_cover_size(tree)
+        for fn in (naive_parallel_path_cover, lin_suboptimal_path_cover,
+                   adhar_peng_path_cover):
+            cover, cost = fn(tree)
+            assert cover.num_paths == expect
+            assert isinstance(cost, EmulatedCost)
+            assert cost.work >= cost.time
+            assert cost.to_dict()["algorithm"] == cost.algorithm
+
+    def test_naive_parallel_degenerates_on_caterpillars(self):
+        _, deep = naive_parallel_path_cover(caterpillar_cotree(256))
+        _, flat = naive_parallel_path_cover(balanced_cotree(8))
+        assert deep.time > 10 * flat.time
+
+    def test_adhar_peng_work_is_quadratic(self):
+        _, small = adhar_peng_path_cover(random_cotree(64, seed=1))
+        _, large = adhar_peng_path_cover(random_cotree(256, seed=1))
+        assert large.work > 10 * small.work
+
+    def test_lin_suboptimal_time_is_polylog(self):
+        _, c = lin_suboptimal_path_cover(random_cotree(1024, seed=2))
+        assert c.time <= 3 * (10 + 10 * 10)
+        assert c.processors <= 1024

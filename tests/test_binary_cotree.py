@@ -1,0 +1,159 @@
+"""Tests for binarisation and the BinaryCotree structure."""
+
+import numpy as np
+import pytest
+
+from repro.cograph import (
+    JOIN,
+    LEAF,
+    UNION,
+    BinaryCotree,
+    Cotree,
+    CotreeError,
+    Graph,
+    binarize_cotree,
+    clique,
+    independent_set,
+    make_leftist,
+    random_cotree,
+    validate_binary_cotree,
+)
+
+
+class TestBinarize:
+    def test_node_count_is_2n_minus_1(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            b = binarize_cotree(t)
+            assert b.num_nodes == 2 * t.num_vertices - 1, name
+
+    def test_binary_tree_preserves_graph(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            b = binarize_cotree(t)
+            assert Graph.from_cotree(b.to_cotree()) == Graph.from_cotree(t), name
+
+    def test_wide_union_becomes_chain(self):
+        b = binarize_cotree(independent_set(6))
+        assert b.num_nodes == 11
+        assert np.count_nonzero(b.kind == UNION) == 5
+
+    def test_wide_join_becomes_chain(self):
+        b = binarize_cotree(clique(5))
+        assert np.count_nonzero(b.kind == JOIN) == 4
+
+    def test_binary_input_unchanged_shape(self):
+        t = Cotree.from_nested(("join", 0, ("union", 1, 2)))
+        b = binarize_cotree(t)
+        assert b.num_nodes == 5
+
+    def test_single_vertex(self):
+        b = binarize_cotree(Cotree.single_vertex(0))
+        assert b.num_nodes == 1
+        assert b.kind[b.root] == LEAF
+
+    def test_unary_internal_node_rejected(self):
+        bad = Cotree([UNION, LEAF], [[1], []], [-1, 0], 0)
+        with pytest.raises(CotreeError):
+            binarize_cotree(bad)
+
+    def test_leaf_vertices_preserved(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            b = binarize_cotree(t)
+            assert sorted(b.leaf_vertex[b.leaves]) == sorted(t.vertices), name
+
+    def test_deep_cotree_does_not_overflow_recursion(self):
+        from repro.cograph import caterpillar_cotree
+        t = caterpillar_cotree(3000)
+        b = binarize_cotree(t)
+        assert b.num_vertices == 3000
+
+
+class TestBinaryCotreeStructure:
+    @pytest.fixture(scope="class")
+    def binary(self):
+        return binarize_cotree(random_cotree(25, seed=3))
+
+    def test_validate_passes(self, binary):
+        binary.validate()
+
+    def test_parent_child_consistency(self, binary):
+        for u in binary.internal_nodes:
+            assert binary.parent[binary.left[u]] == u
+            assert binary.parent[binary.right[u]] == u
+
+    def test_postorder_is_bottom_up(self, binary):
+        pos = {u: i for i, u in enumerate(binary.postorder())}
+        for u in binary.internal_nodes:
+            assert pos[int(binary.left[u])] < pos[u]
+            assert pos[int(binary.right[u])] < pos[u]
+
+    def test_preorder_starts_at_root(self, binary):
+        assert binary.preorder()[0] == binary.root
+
+    def test_inorder_leaves_covers_all_vertices(self, binary):
+        leaves = binary.inorder_leaves()
+        assert sorted(leaves) == list(range(binary.num_vertices))
+
+    def test_depth_root_zero(self, binary):
+        assert binary.depth()[binary.root] == 0
+
+    def test_height_at_least_log(self, binary):
+        assert binary.height() >= np.ceil(np.log2(binary.num_vertices))
+
+    def test_subtree_leaf_counts_root(self, binary):
+        assert binary.subtree_leaf_counts()[binary.root] == binary.num_vertices
+
+    def test_is_left_right_child(self, binary):
+        u = int(binary.internal_nodes[0])
+        assert binary.is_left_child(int(binary.left[u]))
+        assert binary.is_right_child(int(binary.right[u]))
+        assert not binary.is_left_child(binary.root)
+
+    def test_vertex_to_leaf(self, binary):
+        mapping = binary.vertex_to_leaf()
+        for v, node in mapping.items():
+            assert int(binary.leaf_vertex[node]) == v
+
+    def test_copy_is_independent(self, binary):
+        c = binary.copy()
+        c.left[binary.root] = -99
+        assert binary.left[binary.root] != -99
+
+    def test_swap_children(self, binary):
+        u = int(binary.internal_nodes[0])
+        swapped = binary.swap_children([u])
+        assert swapped.left[u] == binary.right[u]
+        assert swapped.right[u] == binary.left[u]
+
+    def test_validate_rejects_corrupted_parent(self, binary):
+        bad = binary.copy()
+        bad.parent[int(bad.left[bad.root])] = int(bad.left[bad.root])
+        with pytest.raises(CotreeError):
+            bad.validate()
+
+    def test_validate_rejects_missing_child(self, binary):
+        bad = binary.copy()
+        bad.left[bad.root] = -1
+        with pytest.raises(CotreeError):
+            bad.validate()
+
+
+class TestLeftist:
+    def test_make_leftist_satisfies_invariant(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            b = make_leftist(binarize_cotree(t))
+            validate_binary_cotree(b, leftist=True)
+
+    def test_make_leftist_preserves_graph(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            b = make_leftist(binarize_cotree(t))
+            assert Graph.from_cotree(b.to_cotree()) == Graph.from_cotree(t), name
+
+    def test_leftist_violation_detected(self):
+        # join(leaf, I3) binarized has L(left)=1 < L(right)=3 at the root
+        t = Cotree.from_nested(("join", 0, ("union", 1, 2, 3)))
+        b = binarize_cotree(t)
+        if b.subtree_leaf_counts()[b.left[b.root]] >= \
+                b.subtree_leaf_counts()[b.right[b.root]]:
+            pytest.skip("binarizer already produced a leftist root")
+        with pytest.raises(CotreeError):
+            validate_binary_cotree(b, leftist=True)

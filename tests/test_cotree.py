@@ -1,0 +1,201 @@
+"""Tests for the general cotree data structure (repro.cograph.cotree)."""
+
+import numpy as np
+import pytest
+
+from repro.cograph import (
+    JOIN,
+    LEAF,
+    UNION,
+    Cotree,
+    CotreeError,
+    Graph,
+    kind_name,
+)
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        t = Cotree.single_vertex(3)
+        assert t.num_vertices == 1
+        assert t.num_nodes == 1
+        assert list(t.vertices) == [3]
+        assert t.is_leaf(t.root)
+
+    def test_from_nested_basic(self):
+        t = Cotree.from_nested(("join", 0, ("union", 1, 2)))
+        assert t.num_vertices == 3
+        assert t.num_nodes == 5
+        assert t.kind[t.root] == JOIN
+
+    def test_from_nested_accepts_integer_ops(self):
+        t = Cotree.from_nested((1, 0, (0, 1, 2)))
+        assert t.kind[t.root] == JOIN
+        assert sorted(t.vertices) == [0, 1, 2]
+
+    def test_from_nested_rejects_bad_op(self):
+        with pytest.raises(CotreeError):
+            Cotree.from_nested(("xor", 0, 1))
+
+    def test_from_nested_rejects_too_short_tuple(self):
+        with pytest.raises(CotreeError):
+            Cotree.from_nested(("join",))
+
+    def test_from_parent_pointers(self):
+        # root 0 (union) with children 1 (join) and leaf 4;
+        # node 1 has leaf children 2, 3
+        parent = [-1, 0, 1, 1, 0]
+        kind = [UNION, JOIN, LEAF, LEAF, LEAF]
+        t = Cotree.from_parent_pointers(parent, kind)
+        assert t.num_vertices == 3
+        assert t.kind[t.root] == UNION
+        assert t.degree(t.root) == 2
+
+    def test_from_parent_pointers_requires_single_root(self):
+        with pytest.raises(CotreeError):
+            Cotree.from_parent_pointers([-1, -1], [LEAF, LEAF])
+
+    def test_duplicate_vertex_ids_rejected(self):
+        with pytest.raises(CotreeError):
+            Cotree([UNION, LEAF, LEAF], [[1, 2], [], []], [-1, 0, 0], 0)
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(CotreeError):
+            Cotree([UNION, UNION, LEAF], [[1, 2], [2], []], [-1, -1, 0], 0)
+
+    def test_internal_node_without_children_rejected(self):
+        with pytest.raises(CotreeError):
+            Cotree([UNION, LEAF], [[], []], [-1, 0], 0)
+
+    def test_leaf_with_children_rejected(self):
+        with pytest.raises(CotreeError):
+            Cotree([LEAF, LEAF], [[1], []], [0, 1], 0)
+
+    def test_kind_name(self):
+        assert kind_name(LEAF) == "leaf"
+        assert kind_name(UNION) == "0"
+        assert kind_name(JOIN) == "1"
+
+
+class TestProperties:
+    def test_counts(self, paper_figure1_cotree):
+        t = paper_figure1_cotree
+        assert t.num_vertices == 8
+        assert len(t.leaves) == 8
+        assert len(t.internal_nodes) == t.num_nodes - 8
+
+    def test_leaf_of_vertex_roundtrip(self, paper_figure1_cotree):
+        t = paper_figure1_cotree
+        for v in t.vertices:
+            leaf = t.leaf_of_vertex(int(v))
+            assert t.leaf_vertex[leaf] == v
+
+    def test_depth_and_height(self):
+        t = Cotree.from_nested(("join", 0, ("union", 1, ("join", 2, 3))))
+        d = t.depth()
+        assert d[t.root] == 0
+        assert t.height() == 3
+
+    def test_height_single_vertex(self):
+        assert Cotree.single_vertex().height() == 0
+
+    def test_subtree_leaf_counts(self, paper_figure1_cotree):
+        t = paper_figure1_cotree
+        counts = t.subtree_leaf_counts()
+        assert counts[t.root] == t.num_vertices
+        for leaf in t.leaves:
+            assert counts[leaf] == 1
+
+    def test_leaf_descendants_order(self):
+        t = Cotree.from_nested(("join", ("union", 0, 1), 2))
+        assert t.leaf_descendants(t.root) == [0, 1, 2]
+
+    def test_preorder_visits_every_node_once(self, paper_figure1_cotree):
+        order = list(paper_figure1_cotree.preorder())
+        assert sorted(order) == list(range(paper_figure1_cotree.num_nodes))
+
+    def test_postorder_children_before_parent(self, paper_figure1_cotree):
+        t = paper_figure1_cotree
+        pos = {u: i for i, u in enumerate(t.postorder())}
+        for u in t.internal_nodes:
+            for c in t.children[u]:
+                assert pos[c] < pos[u]
+
+
+class TestCanonicalisation:
+    def test_already_canonical(self, paper_figure1_cotree):
+        assert paper_figure1_cotree.is_canonical()
+
+    def test_same_label_child_merged(self):
+        t = Cotree.from_nested(("join", 0, ("join", 1, 2)))
+        assert not t.is_canonical()
+        c = t.canonicalize()
+        assert c.is_canonical()
+        assert c.num_vertices == 3
+        # a join of three vertices is a triangle
+        assert c.edge_count() == 3
+
+    def test_canonicalise_preserves_graph(self):
+        t = Cotree.from_nested(
+            ("union", ("union", 0, 1), ("join", 2, ("join", 3, 4))))
+        g_before = Graph.from_cotree(t)
+        c = t.canonicalize()
+        assert c.is_canonical()
+        assert Graph.from_cotree(c) == g_before
+
+    def test_single_vertex_is_canonical(self):
+        assert Cotree.single_vertex().canonicalize().num_nodes == 1
+
+    def test_deep_same_label_chain(self):
+        spec = 0
+        for v in range(1, 6):
+            spec = ("join", spec, v)
+        t = Cotree.from_nested(spec)
+        c = t.canonicalize()
+        assert c.is_canonical()
+        # all-join over 6 vertices is K6 represented by a single 1-node
+        assert c.num_nodes == 7
+        assert c.edge_count() == 15
+
+
+class TestGraphSemantics:
+    def test_adjacency_join_is_complete_bipartite(self):
+        t = Cotree.from_nested(("join", ("union", 0, 1), ("union", 2, 3)))
+        adj = t.adjacency_sets()
+        assert adj[0] == {2, 3}
+        assert adj[2] == {0, 1}
+
+    def test_edge_count_matches_materialised_graph(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            g = Graph.from_cotree(t)
+            assert t.edge_count() == g.num_edges(), name
+
+    def test_union_has_no_cross_edges(self):
+        t = Cotree.from_nested(("union", ("join", 0, 1), ("join", 2, 3)))
+        adj = t.adjacency_sets()
+        assert adj[0] == {1}
+        assert adj[2] == {3}
+
+
+class TestMisc:
+    def test_to_nested_roundtrip(self, small_named_cotrees):
+        for name, t in small_named_cotrees.items():
+            rebuilt = (Cotree.from_nested(t.to_nested())
+                       if t.num_nodes > 1 else Cotree.single_vertex(0))
+            assert Graph.from_cotree(rebuilt) == Graph.from_cotree(t), name
+
+    def test_equality_and_hash(self):
+        a = Cotree.from_nested(("join", 0, 1))
+        b = Cotree.from_nested(("join", 0, 1))
+        c = Cotree.from_nested(("union", 0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_relabel_vertices(self):
+        t = Cotree.from_nested(("join", 0, 1))
+        r = t.relabel_vertices({0: 5, 1: 9})
+        assert sorted(r.vertices) == [5, 9]
+
+    def test_repr_mentions_size(self):
+        assert "num_vertices=2" in repr(Cotree.from_nested(("join", 0, 1)))

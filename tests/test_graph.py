@@ -1,0 +1,89 @@
+"""Tests for the explicit Graph container."""
+
+import pytest
+
+from repro.cograph import Graph, clique, complete_bipartite, random_cotree
+
+
+class TestBasics:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_edges() == 0
+        assert g.connected_components() == []
+
+    def test_add_edge_and_queries(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert g.degree(1) == 2
+        assert g.num_edges() == 2
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency({0: [1], 1: [0, 2], 2: [1]})
+        assert g.n == 3
+        assert g.num_edges() == 2
+
+    def test_from_cotree(self):
+        g = Graph.from_cotree(complete_bipartite(2, 3))
+        assert g.num_edges() == 6
+
+    def test_equality_and_copy(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        assert g == h
+        h.add_edge(1, 2)
+        assert g != h
+
+
+class TestDerivedGraphs:
+    def test_complement_of_clique_is_empty(self):
+        g = Graph.from_cotree(clique(5))
+        assert g.complement().num_edges() == 0
+
+    def test_complement_involution(self):
+        g = Graph.from_cotree(random_cotree(12, seed=5))
+        assert g.complement().complement() == g
+
+    def test_induced_subgraph(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, back = g.induced_subgraph([1, 2, 4])
+        assert sub.n == 3
+        assert sub.num_edges() == 1
+        assert set(back.values()) == {1, 2, 4}
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = sorted(sorted(c) for c in g.connected_components())
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+        assert Graph(1).is_connected()
+        assert Graph(0).is_connected()
+
+    def test_complement_components_match_explicit_complement(self):
+        for seed in range(5):
+            g = Graph.from_cotree(random_cotree(15, seed=seed))
+            fast = sorted(sorted(c) for c in g.complement_components())
+            slow = sorted(sorted(c) for c in g.complement().connected_components())
+            assert fast == slow
+
+    def test_complement_components_of_disconnected_graph(self):
+        g = Graph(4)  # empty graph: complement is K4, one co-component
+        assert len(g.complement_components()) == 1

@@ -1,0 +1,184 @@
+"""Tests for the lower-bound reduction (Section 2) and the Hamiltonicity
+corollaries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    brute_force_has_hamiltonian_cycle,
+    brute_force_has_hamiltonian_path,
+)
+from repro.cograph import (
+    CographAdjacencyOracle,
+    Graph,
+    balanced_cotree,
+    clique,
+    complete_bipartite,
+    independent_set,
+    join_of_independent_sets,
+    minimum_path_cover_size,
+    random_cotree,
+    union_of_cliques,
+    validate_cotree,
+)
+from repro.core import (
+    expected_path_count,
+    hamiltonian_cycle,
+    hamiltonian_path,
+    hamiltonicity_report,
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+    minimum_path_cover_parallel,
+    or_from_cover,
+    or_from_path_count,
+    or_instance_cotree,
+    parallel_or_rounds,
+)
+from repro.pram import PRAM, AccessMode
+from repro.analysis import log2ceil
+
+
+class TestLowerBoundConstruction:
+    @pytest.mark.parametrize("bits", [
+        [0], [1], [0, 0, 0], [1, 1, 1], [0, 1, 0, 0], [0, 0, 0, 0, 0, 1, 0, 1],
+        list(np.random.default_rng(1).integers(0, 2, 20)),
+    ])
+    def test_cover_size_formula(self, bits):
+        inst = or_instance_cotree(bits)
+        validate_cotree(inst.cotree, Graph.from_cotree(inst.cotree))
+        n = len(bits)
+        assert inst.cotree.num_vertices == n + 3
+        p = minimum_path_cover_size(inst.cotree)
+        assert p == expected_path_count(bits)
+        assert or_from_path_count(p, n) == int(any(bits))
+
+    def test_fig2_instance(self):
+        """The paper's worked example: bits 0,0,0,0,0,1,0,1 (k = 2 ones)."""
+        bits = [0, 0, 0, 0, 0, 1, 0, 1]
+        inst = or_instance_cotree(bits)
+        p = minimum_path_cover_size(inst.cotree)
+        assert p == 8 - 2 + 2
+        result = minimum_path_cover_parallel(inst.cotree)
+        y_path = [path for path in result.cover.paths if inst.y in path][0]
+        # "the path containing y has k + 2 vertices"
+        assert len(y_path) == 4
+
+    def test_or_from_cover(self):
+        for bits in ([0, 0, 0], [0, 1, 0], [1, 1, 1, 1]):
+            inst = or_instance_cotree(bits)
+            result = minimum_path_cover_parallel(inst.cotree)
+            assert or_from_cover(result.cover, inst) == int(any(bits))
+
+    def test_all_zero_bits_give_isolated_bit_vertices(self):
+        inst = or_instance_cotree([0, 0, 0, 0])
+        result = minimum_path_cover_parallel(inst.cotree)
+        singletons = [p for p in result.cover.paths if len(p) == 1]
+        assert len(singletons) >= 4
+
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(ValueError):
+            or_instance_cotree([])
+        with pytest.raises(ValueError):
+            or_instance_cotree([0, 2])
+
+    def test_reduction_construction_is_constant_depth(self):
+        """The cotree has exactly two internal nodes regardless of n."""
+        inst = or_instance_cotree([0, 1] * 50)
+        assert len(inst.cotree.internal_nodes) == 2
+
+    def test_or_from_cover_requires_y(self):
+        inst = or_instance_cotree([0, 1])
+        from repro.cograph import PathCover
+        with pytest.raises(ValueError):
+            or_from_cover(PathCover([[0], [1]]), inst)
+
+
+class TestParallelOrRounds:
+    def test_erew_fanin_matches_or(self):
+        for bits in ([0, 0, 0, 0], [0, 0, 1, 0], [1] * 7):
+            m = PRAM(mode=AccessMode.EREW)
+            assert parallel_or_rounds(m, bits) == int(any(bits))
+            assert m.rounds >= log2ceil(len(bits))
+
+    def test_crcw_is_constant_rounds(self):
+        bits = list(np.random.default_rng(0).integers(0, 2, 1000))
+        m = PRAM(mode=AccessMode.CRCW_COMMON)
+        assert parallel_or_rounds(m, bits) == int(any(bits))
+        assert m.rounds == 1
+
+    def test_erew_rounds_grow_with_n(self):
+        rounds = []
+        for n in (64, 4096):
+            m = PRAM(mode=AccessMode.EREW)
+            parallel_or_rounds(m, [0] * n)
+            rounds.append(m.rounds)
+        assert rounds[1] > rounds[0]
+
+
+class TestHamiltonicity:
+    def test_against_brute_force(self):
+        for seed in range(25):
+            tree = random_cotree(2 + seed % 7, seed=100 + seed)
+            g = Graph.from_cotree(tree)
+            assert has_hamiltonian_path(tree) == brute_force_has_hamiltonian_path(g)
+            assert has_hamiltonian_cycle(tree) == brute_force_has_hamiltonian_cycle(g)
+
+    def test_known_families(self):
+        assert has_hamiltonian_path(clique(5))
+        assert has_hamiltonian_cycle(clique(5))
+        assert not has_hamiltonian_path(independent_set(3))
+        assert has_hamiltonian_path(complete_bipartite(4, 4))
+        assert has_hamiltonian_cycle(complete_bipartite(4, 4))
+        assert has_hamiltonian_path(complete_bipartite(5, 4))
+        assert not has_hamiltonian_cycle(complete_bipartite(5, 4))
+        assert not has_hamiltonian_path(union_of_cliques([3, 3]))
+        assert not has_hamiltonian_cycle(clique(2))
+
+    def test_path_witness_is_valid(self):
+        for tree in (clique(6), complete_bipartite(3, 4), balanced_cotree(3),
+                     join_of_independent_sets([3, 2, 2])):
+            path = hamiltonian_path(tree)
+            assert path is not None
+            oracle = CographAdjacencyOracle(tree)
+            assert len(set(path)) == tree.num_vertices
+            assert oracle.path_is_valid(path)
+
+    def test_path_witness_absent(self):
+        assert hamiltonian_path(independent_set(4)) is None
+
+    def test_cycle_witness_is_valid(self):
+        for tree in (clique(6), complete_bipartite(4, 4),
+                     join_of_independent_sets([4, 2, 2]), balanced_cotree(3)):
+            cycle = hamiltonian_cycle(tree)
+            assert cycle is not None
+            oracle = CographAdjacencyOracle(tree)
+            assert len(set(cycle)) == tree.num_vertices
+            assert oracle.path_is_valid(cycle)
+            assert oracle.adjacent(cycle[0], cycle[-1])
+
+    def test_cycle_witness_absent(self):
+        assert hamiltonian_cycle(complete_bipartite(5, 3)) is None
+        assert hamiltonian_cycle(clique(2)) is None
+        assert hamiltonian_cycle(union_of_cliques([4, 4])) is None
+
+    def test_cycle_witnesses_random(self):
+        found = 0
+        for seed in range(30):
+            tree = random_cotree(3 + seed % 9, seed=500 + seed, join_prob=0.7)
+            cycle = hamiltonian_cycle(tree)
+            g = Graph.from_cotree(tree)
+            assert (cycle is not None) == brute_force_has_hamiltonian_cycle(g)
+            if cycle is not None:
+                found += 1
+                oracle = CographAdjacencyOracle(tree)
+                assert oracle.path_is_valid(cycle)
+                assert oracle.adjacent(cycle[0], cycle[-1])
+                assert len(set(cycle)) == tree.num_vertices
+        assert found > 3  # the sweep actually exercises the positive branch
+
+    def test_report(self):
+        rep = hamiltonicity_report(complete_bipartite(4, 4))
+        assert rep.has_path and rep.has_cycle and rep.min_path_cover == 1
+        rep2 = hamiltonicity_report(independent_set(5))
+        assert not rep2.has_path and rep2.min_path_cover == 5
+        assert rep2.num_vertices == 5

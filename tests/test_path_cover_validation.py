@@ -1,0 +1,127 @@
+"""Tests for the PathCover container, its validators, and the analytic
+minimum path cover size (Lemma 2.4 recurrence) against brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_path_cover, brute_force_path_cover_size
+from repro.cograph import (
+    CographAdjacencyOracle,
+    Cotree,
+    Graph,
+    PathCover,
+    PathCoverError,
+    binarize_cotree,
+    clique,
+    complete_bipartite,
+    independent_set,
+    make_leftist,
+    minimum_path_cover_size,
+    path_cover_sizes_per_node,
+    random_cotree,
+    union_of_cliques,
+)
+from .conftest import nested_cotree_specs
+
+
+class TestPathCoverContainer:
+    def test_counts(self):
+        c = PathCover([[0, 1], [2]])
+        assert c.num_paths == 2
+        assert c.num_vertices == 3
+        assert len(c) == 2
+        assert sorted(c.covered_vertices()) == [0, 1, 2]
+
+    def test_is_hamiltonian_path(self):
+        assert PathCover([[0, 1, 2]]).is_hamiltonian_path(3)
+        assert not PathCover([[0, 1], [2]]).is_hamiltonian_path(3)
+
+    def test_canonical_form(self):
+        a = PathCover([[2, 1, 0], [3]])
+        b = PathCover([[3], [0, 1, 2]])
+        assert a.canonical() == b.canonical()
+
+    def test_validate_accepts_valid_cover(self):
+        g = Graph.from_cotree(clique(3))
+        PathCover([[0, 1, 2]]).validate(g)
+
+    def test_validate_rejects_nonedge(self):
+        g = Graph.from_cotree(independent_set(3))
+        with pytest.raises(PathCoverError, match="not adjacent"):
+            PathCover([[0, 1], [2]]).validate(g)
+
+    def test_validate_rejects_duplicate_vertex(self):
+        g = Graph.from_cotree(clique(3))
+        with pytest.raises(PathCoverError, match="twice"):
+            PathCover([[0, 1], [1, 2]]).validate(g)
+
+    def test_validate_rejects_missing_vertex(self):
+        g = Graph.from_cotree(clique(3))
+        with pytest.raises(PathCoverError, match="expected 3"):
+            PathCover([[0, 1]]).validate(g)
+
+    def test_validate_rejects_empty_path(self):
+        g = Graph.from_cotree(clique(2))
+        with pytest.raises(PathCoverError, match="empty"):
+            PathCover([[0, 1], []]).validate(g)
+
+    def test_validate_rejects_wrong_count(self):
+        g = Graph.from_cotree(independent_set(2))
+        with pytest.raises(PathCoverError, match="expected 1"):
+            PathCover([[0], [1]]).validate(g, expected_num_paths=1)
+
+    def test_validate_with_oracle_and_cotree_sources(self):
+        t = clique(4)
+        cover = PathCover([[0, 1, 2, 3]])
+        cover.validate(t)
+        cover.validate(CographAdjacencyOracle(t))
+        cover.validate(binarize_cotree(t))
+
+    def test_validate_rejects_unknown_source(self):
+        with pytest.raises(TypeError):
+            PathCover([[0]]).validate(42)
+
+    def test_is_valid_boolean_form(self):
+        g = Graph.from_cotree(independent_set(2))
+        assert PathCover([[0], [1]]).is_valid(g)
+        assert not PathCover([[0, 1]]).is_valid(g)
+
+
+class TestAnalyticCount:
+    def test_known_families(self):
+        assert minimum_path_cover_size(clique(7)) == 1
+        assert minimum_path_cover_size(independent_set(7)) == 7
+        assert minimum_path_cover_size(complete_bipartite(5, 2)) == 3
+        assert minimum_path_cover_size(complete_bipartite(4, 4)) == 1
+        assert minimum_path_cover_size(union_of_cliques([2, 2, 2])) == 3
+        assert minimum_path_cover_size(Cotree.single_vertex()) == 1
+
+    def test_per_node_values_are_positive_and_bounded(self):
+        b = make_leftist(binarize_cotree(random_cotree(30, seed=1)))
+        p = path_cover_sizes_per_node(b)
+        L = b.subtree_leaf_counts()
+        assert (p >= 1).all()
+        assert (p <= L).all()
+
+    def test_recurrence_against_brute_force_random(self):
+        for seed in range(30):
+            t = random_cotree(1 + seed % 8, seed=seed, join_prob=0.3 + 0.05 * (seed % 10))
+            g = Graph.from_cotree(t)
+            assert minimum_path_cover_size(t) == brute_force_path_cover_size(g)
+
+    @settings(max_examples=80, deadline=None)
+    @given(nested_cotree_specs(max_leaves=8))
+    def test_recurrence_against_brute_force_hypothesis(self, spec):
+        tree = (Cotree.single_vertex(spec) if isinstance(spec, int)
+                else Cotree.from_nested(spec).canonicalize())
+        g = Graph.from_cotree(tree)
+        assert minimum_path_cover_size(tree) == brute_force_path_cover_size(g)
+
+    def test_brute_force_witness_is_valid_and_minimum(self):
+        for seed in range(10):
+            t = random_cotree(7, seed=seed)
+            g = Graph.from_cotree(t)
+            cover = brute_force_path_cover(g)
+            cover.validate(g)
+            assert cover.num_paths == brute_force_path_cover_size(g)

@@ -1,0 +1,230 @@
+"""Tests for the PRAM simulator: accounting, Brent scheduling and the
+access-mode (EREW/CREW/CRCW) conflict checking."""
+
+import numpy as np
+import pytest
+
+from repro.pram import (
+    AccessConflictError,
+    AccessMode,
+    PRAM,
+    StepUsageError,
+    optimal_processor_count,
+)
+
+
+class TestAccounting:
+    def test_single_step_counts(self):
+        m = PRAM(num_processors=4)
+        with m.step(active=8, label="demo"):
+            pass
+        assert m.rounds == 1
+        assert m.work == 8
+        assert m.time == 2  # ceil(8 / 4)
+
+    def test_unbounded_processors_time_equals_rounds(self):
+        m = PRAM()
+        for _ in range(5):
+            with m.step(active=1000):
+                pass
+        assert m.time == 5
+        assert m.work == 5000
+
+    def test_active_inferred_from_accesses(self):
+        m = PRAM(num_processors=2)
+        arr = m.array(10, name="x")
+        with m.step(label="infer"):
+            arr.scatter(np.arange(6), np.ones(6, dtype=np.int64))
+        assert m.work == 6
+        assert m.time == 3
+
+    def test_time_for_processors_brent(self):
+        m = PRAM()
+        for active in (10, 3, 7):
+            with m.step(active=active):
+                pass
+        assert m.time_for_processors(1) == 20
+        assert m.time_for_processors(5) == 2 + 1 + 2
+        assert m.time_for_processors(100) == 3
+
+    def test_time_for_processors_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PRAM().time_for_processors(0)
+
+    def test_charge_channel_is_separate(self):
+        m = PRAM()
+        with m.step(active=4):
+            pass
+        m.charge("cited:sort", time=10, work=100)
+        assert m.time == 1 and m.work == 4
+        assert m.charged_time == 10 and m.charged_work == 100
+        assert m.total_time == 11 and m.total_work == 104
+
+    def test_reset(self):
+        m = PRAM()
+        with m.step(active=4):
+            pass
+        m.reset()
+        assert m.rounds == 0 and m.work == 0 and m.time == 0
+
+    def test_report_contents(self):
+        m = PRAM(num_processors=2, record_steps=True)
+        with m.step(active=4, label="alpha"):
+            pass
+        with m.step(active=2, label="alpha"):
+            pass
+        m.charge("beta", time=3, work=9)
+        rep = m.report()
+        assert rep.rounds == 2
+        assert rep.by_label["alpha"].rounds == 2
+        assert rep.by_label["beta"].charged
+        assert rep.to_dict()["total_work"] == rep.total_work
+        assert "alpha" in str(rep)
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            PRAM(num_processors=0)
+
+    def test_optimal_processor_count(self):
+        assert optimal_processor_count(2) == 1
+        assert optimal_processor_count(1024) == 103  # ceil(1024/10)
+        assert optimal_processor_count(8) == 3
+
+    def test_erew_factory(self):
+        m = PRAM.erew(1024)
+        assert m.mode is AccessMode.EREW
+        assert m.num_processors == optimal_processor_count(1024)
+
+    def test_null_machine_never_checks(self):
+        m = PRAM.null()
+        arr = m.array(4)
+        with m.step(active=2):
+            arr.gather(np.array([1, 1]))  # concurrent read, but unchecked
+        assert m.rounds == 1
+
+
+class TestSharedArray:
+    def test_array_from_length_and_data(self):
+        m = PRAM()
+        a = m.array(5)
+        assert len(a) == 5 and a.data.sum() == 0
+        b = m.array([1, 2, 3])
+        assert list(b.copy_out()) == [1, 2, 3]
+
+    def test_gather_scatter_roundtrip(self):
+        m = PRAM()
+        a = m.array(np.arange(10))
+        with m.step(active=3):
+            vals = a.gather(np.array([2, 4, 6]))
+            a.scatter(np.array([0, 1, 3]), vals * 10)
+        assert list(a.data[:4]) == [20, 40, 2, 60]
+
+    def test_local_reads_do_not_count(self):
+        m = PRAM()
+        a = m.array(np.arange(4))
+        with m.step(active=2) as ctx:
+            a.local(np.array([1, 1]))
+        assert ctx.n_reads == 0
+
+    def test_access_outside_step_raises(self):
+        m = PRAM()
+        a = m.array(4)
+        with pytest.raises(StepUsageError):
+            a.gather(np.array([0]))
+        with pytest.raises(StepUsageError):
+            a.scatter(np.array([0]), 1)
+
+    def test_nested_steps_rejected(self):
+        m = PRAM()
+        with pytest.raises(StepUsageError):
+            with m.step(active=1):
+                with m.step(active=1):
+                    pass
+
+    def test_fill(self):
+        m = PRAM()
+        a = m.array(3)
+        a.fill(7)
+        assert list(a.data) == [7, 7, 7]
+
+
+class TestConflictChecking:
+    def test_erew_concurrent_read_rejected(self):
+        m = PRAM(mode=AccessMode.EREW)
+        a = m.array(4)
+        with pytest.raises(AccessConflictError, match="read"):
+            with m.step(active=2):
+                a.gather(np.array([1, 1]))
+
+    def test_erew_concurrent_write_rejected(self):
+        m = PRAM(mode=AccessMode.EREW)
+        a = m.array(4)
+        with pytest.raises(AccessConflictError):
+            with m.step(active=2):
+                a.scatter(np.array([2, 2]), np.array([1, 1]))
+
+    def test_erew_disjoint_accesses_fine(self):
+        m = PRAM(mode=AccessMode.EREW)
+        a = m.array(4)
+        with m.step(active=2):
+            a.gather(np.array([0, 1]))
+            a.scatter(np.array([2, 3]), np.array([5, 6]))
+
+    def test_crew_allows_concurrent_reads(self):
+        m = PRAM(mode=AccessMode.CREW)
+        a = m.array(4)
+        with m.step(active=3):
+            a.gather(np.array([1, 1, 1]))
+
+    def test_crew_rejects_concurrent_writes(self):
+        m = PRAM(mode=AccessMode.CREW)
+        a = m.array(4)
+        with pytest.raises(AccessConflictError):
+            with m.step(active=2):
+                a.scatter(np.array([0, 0]), np.array([1, 1]))
+
+    def test_crcw_common_allows_same_value(self):
+        m = PRAM(mode=AccessMode.CRCW_COMMON)
+        a = m.array(4)
+        with m.step(active=3):
+            a.scatter(np.array([2, 2, 2]), np.array([9, 9, 9]))
+        assert a.data[2] == 9
+
+    def test_crcw_common_rejects_different_values(self):
+        m = PRAM(mode=AccessMode.CRCW_COMMON)
+        a = m.array(4)
+        with pytest.raises(AccessConflictError, match="common"):
+            with m.step(active=2):
+                a.scatter(np.array([2, 2]), np.array([1, 2]))
+
+    def test_crcw_arbitrary_allows_anything(self):
+        m = PRAM(mode=AccessMode.CRCW_ARBITRARY)
+        a = m.array(4)
+        with m.step(active=2):
+            a.scatter(np.array([1, 1]), np.array([3, 4]))
+        assert a.data[1] in (3, 4)
+
+    def test_checking_can_be_disabled(self):
+        m = PRAM(mode=AccessMode.EREW, check_conflicts=False)
+        a = m.array(4)
+        with m.step(active=2):
+            a.gather(np.array([1, 1]))
+
+    def test_mode_from_string(self):
+        assert PRAM(mode="CREW").mode is AccessMode.CREW
+        with pytest.raises(ValueError):
+            PRAM(mode="nonsense")
+
+    def test_conflicts_across_multiple_gathers_in_one_step(self):
+        m = PRAM(mode=AccessMode.EREW)
+        a = m.array(4)
+        with pytest.raises(AccessConflictError):
+            with m.step(active=2):
+                a.gather(np.array([1]))
+                a.gather(np.array([1]))
+
+    def test_mode_properties(self):
+        assert not AccessMode.EREW.allows_concurrent_reads
+        assert AccessMode.CREW.allows_concurrent_reads
+        assert not AccessMode.CREW.allows_concurrent_writes
+        assert AccessMode.CRCW_COMMON.allows_concurrent_writes

@@ -1,0 +1,136 @@
+"""Tests for cograph recognition, the P4 certificate, and the LCA adjacency
+oracle."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cograph import (
+    CographAdjacencyOracle,
+    Graph,
+    NotACographError,
+    binarize_cotree,
+    clique,
+    cotree_from_graph,
+    find_induced_p4,
+    independent_set,
+    is_cograph,
+    random_cotree,
+    validate_cotree,
+)
+from .conftest import small_graphs
+
+
+def path_graph(n: int) -> Graph:
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+class TestRecognition:
+    def test_roundtrip_random_cographs(self):
+        for seed in range(8):
+            t = random_cotree(25, seed=seed)
+            g = Graph.from_cotree(t)
+            rebuilt = cotree_from_graph(g)
+            validate_cotree(rebuilt, g)
+
+    def test_single_vertex(self):
+        t = cotree_from_graph(Graph(1))
+        assert t.num_vertices == 1
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            cotree_from_graph(Graph(0))
+
+    def test_clique_and_independent(self):
+        assert cotree_from_graph(Graph.from_cotree(clique(5))).edge_count() == 10
+        assert cotree_from_graph(Graph.from_cotree(independent_set(5))).edge_count() == 0
+
+    def test_p4_is_not_a_cograph(self):
+        assert not is_cograph(path_graph(4))
+
+    def test_p4_certificate(self):
+        with pytest.raises(NotACographError) as err:
+            cotree_from_graph(path_graph(4))
+        cert = err.value.certificate
+        assert cert is not None and len(cert) == 4
+
+    def test_p3_is_a_cograph(self):
+        assert is_cograph(path_graph(3))
+
+    def test_c5_is_not_a_cograph(self):
+        assert not is_cograph(cycle_graph(5))
+
+    def test_c4_is_a_cograph(self):
+        assert is_cograph(cycle_graph(4))
+
+    def test_p5_is_not_a_cograph(self):
+        assert not is_cograph(path_graph(5))
+
+    def test_certificate_is_induced_p4(self):
+        g = path_graph(6)
+        a, b, c, d = find_induced_p4(g)
+        assert g.has_edge(a, b) and g.has_edge(b, c) and g.has_edge(c, d)
+        assert not g.has_edge(a, c) and not g.has_edge(a, d) and not g.has_edge(b, d)
+
+    def test_find_induced_p4_absent_in_cograph(self):
+        g = Graph.from_cotree(random_cotree(15, seed=2))
+        assert find_induced_p4(g) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs(max_n=6))
+    def test_is_cograph_equals_p4_freeness(self, g):
+        assert is_cograph(g) == (find_induced_p4(g) is None)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(max_n=6))
+    def test_recognised_cotree_reproduces_graph(self, g):
+        if not is_cograph(g):
+            return
+        t = cotree_from_graph(g)
+        assert Graph.from_cotree(t) == g
+
+
+class TestAdjacencyOracle:
+    def test_matches_explicit_graph(self):
+        t = random_cotree(40, seed=4)
+        g = Graph.from_cotree(t)
+        oracle = CographAdjacencyOracle(t)
+        for u, v in itertools.combinations(range(40), 2):
+            assert oracle.adjacent(u, v) == g.has_edge(u, v)
+
+    def test_works_on_binary_cotree(self):
+        t = random_cotree(30, seed=5)
+        g = Graph.from_cotree(t)
+        oracle = CographAdjacencyOracle(binarize_cotree(t))
+        for u, v in itertools.combinations(range(30), 2):
+            assert oracle.adjacent(u, v) == g.has_edge(u, v)
+
+    def test_self_adjacency_false(self):
+        oracle = CographAdjacencyOracle(clique(4))
+        assert not oracle.adjacent(2, 2)
+
+    def test_lca_of_same_vertex(self):
+        t = random_cotree(10, seed=6)
+        oracle = CographAdjacencyOracle(t)
+        leaf = t.leaf_of_vertex(3)
+        assert oracle.lca(3, 3) == leaf
+
+    def test_path_is_valid(self):
+        t = clique(4)
+        oracle = CographAdjacencyOracle(t)
+        assert oracle.path_is_valid([0, 1, 2, 3])
+        t2 = independent_set(3)
+        oracle2 = CographAdjacencyOracle(t2)
+        assert not oracle2.path_is_valid([0, 1])
+        assert oracle2.path_is_valid([2])
+
+    def test_num_vertices(self):
+        assert CographAdjacencyOracle(random_cotree(21, seed=0)).num_vertices == 21

@@ -1,0 +1,191 @@
+"""Tests for prefix sums / prefix max and list ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import log2ceil
+from repro.pram import PRAM, AccessMode
+from repro.primitives import (
+    prefix_max,
+    prefix_sum,
+    prefix_sum_hillis_steele,
+    total_sum,
+    work_efficient_list_ranking,
+    wyllie_list_ranking,
+)
+
+
+def make_list(order):
+    """Successor array of a list visiting ``order`` in sequence."""
+    n = len(order)
+    succ = np.full(n, -1, dtype=np.int64)
+    for a, b in zip(order[:-1], order[1:]):
+        succ[a] = b
+    return succ
+
+
+def expected_suffix_counts(order):
+    n = len(order)
+    out = np.empty(n, dtype=np.int64)
+    for i, v in enumerate(order):
+        out[v] = n - i
+    return out
+
+
+class TestScan:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 9, 100, 255, 256, 1000])
+    def test_inclusive_matches_cumsum(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.integers(-5, 10, size=n)
+        assert np.array_equal(prefix_sum(PRAM(), x), np.cumsum(x))
+
+    @pytest.mark.parametrize("n", [1, 5, 64, 321])
+    def test_exclusive(self, n):
+        x = np.arange(1, n + 1)
+        expect = np.cumsum(x) - x
+        assert np.array_equal(prefix_sum(PRAM(), x, inclusive=False), expect)
+
+    def test_empty_input(self):
+        assert len(prefix_sum(PRAM(), [])) == 0
+        assert total_sum(PRAM(), []) == 0
+
+    def test_boolean_input(self):
+        got = prefix_sum(None, [True, False, True, True])
+        assert list(got) == [1, 1, 2, 3]
+
+    def test_rounds_are_logarithmic(self):
+        m = PRAM()
+        prefix_sum(m, np.ones(4096, dtype=np.int64))
+        assert m.rounds <= 4 * log2ceil(4096) + 4
+
+    def test_work_is_linear(self):
+        m = PRAM()
+        n = 4096
+        prefix_sum(m, np.ones(n, dtype=np.int64))
+        assert m.work <= 6 * n
+
+    def test_erew_clean(self):
+        m = PRAM(mode=AccessMode.EREW)
+        prefix_sum(m, np.arange(500))
+        prefix_max(m, np.arange(500))
+
+    def test_hillis_steele_matches_but_costs_more_work(self):
+        x = np.arange(1, 300)
+        m1, m2 = PRAM(), PRAM()
+        a = prefix_sum(m1, x)
+        b = prefix_sum_hillis_steele(m2, x)
+        assert np.array_equal(a, b)
+        assert m2.work > m1.work
+
+    def test_hillis_steele_exclusive(self):
+        x = np.array([3, 1, 2])
+        assert list(prefix_sum_hillis_steele(None, x, inclusive=False)) == [0, 3, 4]
+
+    def test_prefix_max(self):
+        x = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        assert np.array_equal(prefix_max(PRAM(), x), np.maximum.accumulate(x))
+
+    def test_prefix_max_exclusive_first_is_identity(self):
+        from repro.primitives import NEG_INF
+        out = prefix_max(PRAM(), [5, 2, 7], inclusive=False)
+        assert out[0] <= NEG_INF
+        assert out[1] == 5 and out[2] == 5
+
+    def test_total_sum(self):
+        assert total_sum(PRAM(), np.arange(1000)) == 499500
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1,
+                    max_size=200))
+    def test_scan_hypothesis(self, xs):
+        assert np.array_equal(prefix_sum(None, xs), np.cumsum(xs))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1,
+                    max_size=200))
+    def test_prefix_max_hypothesis(self, xs):
+        assert np.array_equal(prefix_max(None, xs), np.maximum.accumulate(xs))
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("algo", [wyllie_list_ranking,
+                                      work_efficient_list_ranking])
+    def test_identity_order(self, algo):
+        n = 50
+        succ = make_list(list(range(n)))
+        assert np.array_equal(algo(PRAM(), succ), np.arange(n, 0, -1))
+
+    @pytest.mark.parametrize("algo", [wyllie_list_ranking,
+                                      work_efficient_list_ranking])
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 64, 257, 1000])
+    def test_random_permutation_lists(self, algo, n):
+        rng = np.random.default_rng(n)
+        order = list(rng.permutation(n))
+        succ = make_list(order)
+        assert np.array_equal(algo(PRAM(), succ), expected_suffix_counts(order))
+
+    @pytest.mark.parametrize("algo", [wyllie_list_ranking,
+                                      work_efficient_list_ranking])
+    def test_weights(self, algo):
+        order = [2, 0, 1]
+        succ = make_list(order)
+        w = np.array([10, 100, 1], dtype=np.int64)
+        # suffix sums: rank[2] = 1+10+100, rank[0] = 10+100, rank[1] = 100
+        assert list(algo(PRAM(), succ, w)) == [110, 100, 111]
+
+    @pytest.mark.parametrize("algo", [wyllie_list_ranking,
+                                      work_efficient_list_ranking])
+    def test_multiple_disjoint_lists(self, algo):
+        # two lists: 0 -> 1 -> 2 and 3 -> 4
+        succ = np.array([1, 2, -1, 4, -1], dtype=np.int64)
+        assert list(algo(PRAM(), succ)) == [3, 2, 1, 2, 1]
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            wyllie_list_ranking(PRAM(), [1, -1], [1])
+
+    def test_empty(self):
+        assert len(wyllie_list_ranking(PRAM(), [])) == 0
+        assert len(work_efficient_list_ranking(PRAM(), [])) == 0
+
+    def test_erew_clean(self):
+        rng = np.random.default_rng(0)
+        order = list(rng.permutation(300))
+        succ = make_list(order)
+        wyllie_list_ranking(PRAM(mode=AccessMode.EREW), succ)
+        work_efficient_list_ranking(PRAM(mode=AccessMode.EREW), succ, seed=1)
+
+    def test_rounds_logarithmic(self):
+        n = 2048
+        succ = make_list(list(range(n)))
+        m = PRAM()
+        wyllie_list_ranking(m, succ)
+        assert m.rounds <= log2ceil(n) + 2
+
+    def test_work_efficiency_gap(self):
+        """Wyllie does Θ(n log n) work; the contraction variant stays near
+        linear (A3 ablation's unit-level counterpart)."""
+        n = 4096
+        succ = make_list(list(range(n)))
+        m_wyllie, m_we = PRAM(), PRAM()
+        wyllie_list_ranking(m_wyllie, succ)
+        work_efficient_list_ranking(m_we, succ, seed=0)
+        assert m_wyllie.work > 0.8 * n * log2ceil(n)
+        assert m_we.work < 0.7 * m_wyllie.work
+
+    def test_seed_does_not_change_result(self):
+        order = list(np.random.default_rng(5).permutation(200))
+        succ = make_list(order)
+        a = work_efficient_list_ranking(PRAM(), succ, seed=1)
+        b = work_efficient_list_ranking(PRAM(), succ, seed=99)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(list(range(40))))
+    def test_list_ranking_hypothesis(self, order):
+        succ = make_list(list(order))
+        expect = expected_suffix_counts(list(order))
+        assert np.array_equal(work_efficient_list_ranking(None, succ, seed=3),
+                              expect)
