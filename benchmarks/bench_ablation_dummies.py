@@ -9,33 +9,18 @@ without legalisation and verifies the full pipeline produces none.
 import pytest
 
 from repro.cograph import CographAdjacencyOracle, random_cotree
-from repro.core import (
-    binarize_parallel,
-    build_pseudo_forest,
-    extract_paths,
-    generate_brackets,
-    leftist_reorder,
-    legalize_forest,
-    minimum_path_cover_parallel,
-    reduce_cotree,
-    remove_dummies,
-)
+from repro.core import Pipeline, minimum_path_cover_parallel
 
 from _util import write_result_table
 
 
 def run_pipeline(tree, *, legalize: bool):
-    m = None
-    lf = leftist_reorder(m, binarize_parallel(m, tree))
-    red = reduce_cotree(m, lf)
-    seq = generate_brackets(m, red)
-    forest = build_pseudo_forest(m, seq)
-    exchanges = 0
-    if legalize:
-        forest, exchanges = legalize_forest(m, forest, red)
-    forest = remove_dummies(m, forest)
-    cover = extract_paths(m, forest)
-    return cover, exchanges
+    """Select the stages declaratively: the ablation is just Pipeline
+    minus its ``legalize`` stage."""
+    pipeline = Pipeline.default() if legalize else \
+        Pipeline.default().without("legalize")
+    run = pipeline.run(tree)
+    return run.cover, run.state.exchanges
 
 
 def count_invalid_adjacencies(tree, cover) -> int:

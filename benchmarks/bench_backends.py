@@ -1,0 +1,134 @@
+"""E9 — execution backends: the fast vectorized backend vs the PRAM simulator.
+
+The same eight-stage pipeline runs on both execution backends; the covers are
+identical, so the wall-clock gap is exactly the price of fidelity (per-step
+Brent accounting + EREW conflict checking).  The table reports, per generator
+family and size, both backends' wall-clock, the speedup, and the per-stage
+timing breakdown the named-stage pipeline collects; a batch row shows the
+``solve_batch`` throughput API on the same instances.
+
+Run standalone for the smoke configuration used by CI::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.cograph import (
+    caterpillar_cotree,
+    minimum_path_cover_size,
+    random_cotree,
+    threshold_cograph,
+    union_of_cliques,
+)
+from repro.core import minimum_path_cover_parallel, solve_batch
+
+from _util import write_result_table
+
+FAMILIES = {
+    "random": lambda n: random_cotree(n, seed=n, join_prob=0.5),
+    "caterpillar": lambda n: caterpillar_cotree(n),
+    "union-of-cliques": lambda n: union_of_cliques([8] * max(1, n // 8)),
+    "threshold": lambda n: threshold_cograph([i % 2 for i in range(n)]),
+}
+
+SIZES = [1000, 4000, 10000]
+SMOKE_SIZES = [200, 600]
+
+#: the acceptance threshold asserted at the largest size
+MIN_SPEEDUP_AT_10K = 5.0
+
+
+def _time_solve(tree, backend: str):
+    t0 = time.perf_counter()
+    result = minimum_path_cover_parallel(tree, backend=backend)
+    return time.perf_counter() - t0, result
+
+
+def run_backend_comparison(sizes, *, repeats: int = 1):
+    """The E9 sweep; returns (rows, speedup at the largest size)."""
+    rows = []
+    largest_speedups = []
+    for family, make in FAMILIES.items():
+        for n in sizes:
+            tree = make(n)
+            fast_t, fast = _time_solve(tree, "fast")   # warm-up + measure
+            for _ in range(repeats - 1):
+                t, _ = _time_solve(tree, "fast")
+                fast_t = min(fast_t, t)
+            pram_t, pram = _time_solve(tree, "pram")
+            assert fast.num_paths == pram.num_paths == \
+                minimum_path_cover_size(tree)
+            slowest = max(fast.stage_seconds, key=fast.stage_seconds.get)
+            speedup = pram_t / max(fast_t, 1e-9)
+            if n == max(sizes):
+                largest_speedups.append(speedup)
+            rows.append({
+                "family": family,
+                "n": tree.num_vertices,
+                "fast (s)": round(fast_t, 4),
+                "pram (s)": round(pram_t, 4),
+                "speedup": round(speedup, 1),
+                "paths": fast.num_paths,
+                "slowest fast stage": slowest,
+            })
+    return rows, (min(largest_speedups) if largest_speedups else None)
+
+
+def run_batch_throughput(n: int = 500, count: int = 8):
+    """One ``solve_batch`` row, shaped like the family rows."""
+    trees = [random_cotree(n, seed=s, join_prob=0.5) for s in range(count)]
+    t0 = time.perf_counter()
+    results = solve_batch(trees, backend="fast", jobs=1)
+    batch_t = time.perf_counter() - t0
+    assert [r.num_paths for r in results] == \
+        [minimum_path_cover_size(t) for t in trees]
+    return {"family": f"solve_batch x{count}", "n": n,
+            "fast (s)": round(batch_t, 4), "pram (s)": "",
+            "speedup": "", "paths": sum(r.num_paths for r in results),
+            "slowest fast stage": f"{count / max(batch_t, 1e-9):.0f} inst/s"}
+
+
+def test_backend_speedup_table(benchmark):
+    """The E9 table: wall-clock of both backends across families/sizes."""
+    rows, min_speedup = run_backend_comparison(SIZES)
+    rows.append(run_batch_throughput())
+    write_result_table("E9", "execution backends — fast vs simulated", rows)
+
+    # the fast backend must beat the simulator by >= 5x at n = 10k in
+    # every family (the pluggable-backend acceptance criterion)
+    assert min_speedup is not None and min_speedup >= MIN_SPEEDUP_AT_10K, \
+        f"fast backend speedup {min_speedup:.1f}x < {MIN_SPEEDUP_AT_10K}x"
+
+    benchmark(lambda: minimum_path_cover_parallel(
+        random_cotree(4000, seed=4000), backend="fast"))
+
+
+@pytest.mark.parametrize("backend", ["fast", "pram"])
+def test_backend_wallclock(benchmark, backend):
+    """Per-backend wall-clock at a representative size (pytest-benchmark)."""
+    tree = random_cotree(2000, seed=2000, join_prob=0.5)
+    result = benchmark(lambda: minimum_path_cover_parallel(tree,
+                                                           backend=backend))
+    assert result.num_paths == minimum_path_cover_size(tree)
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (used by the CI smoke run)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    sizes = SMOKE_SIZES if "--smoke" in argv else SIZES
+    rows, min_speedup = run_backend_comparison(sizes)
+    rows.append(run_batch_throughput(n=200 if "--smoke" in argv else 500))
+    write_result_table("E9", "execution backends — fast vs simulated", rows)
+    print(f"minimum speedup at n={max(sizes)}: {min_speedup:.1f}x")
+    if "--smoke" not in argv and min_speedup < MIN_SPEEDUP_AT_10K:
+        print(f"FAIL: below the {MIN_SPEEDUP_AT_10K}x acceptance threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ from repro import (
     minimum_path_cover_size,
     random_cotree,
     sequential_path_cover,
+    solve_batch,
 )
 from repro.io import render_cotree, render_cover
 
@@ -44,6 +45,18 @@ def main() -> None:
     assert sequential.num_paths == result.num_paths
     print(f"sequential Lin-Olariu-Pruesse algorithm: "
           f"{sequential.num_paths} paths (agrees)")
+    print()
+
+    # -- 5. the fast backend: same cover, no simulation ------------------- #
+    fast = minimum_path_cover_parallel(tree, backend="fast")
+    assert fast.cover.paths == result.cover.paths
+    slowest = max(fast.stage_seconds, key=fast.stage_seconds.get)
+    print(f"fast backend agrees; slowest pipeline stage was {slowest!r}")
+
+    # -- 6. batches of instances ------------------------------------------ #
+    batch = solve_batch([random_cotree(40, seed=s) for s in range(6)])
+    print(f"solve_batch: covers of sizes "
+          f"{[r.num_paths for r in batch]} for 6 random instances")
 
 
 if __name__ == "__main__":

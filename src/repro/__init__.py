@@ -8,6 +8,9 @@ The package is organised as described in DESIGN.md:
   validation (the substrate the paper assumes);
 * :mod:`repro.pram` — the PRAM cost-model simulator (EREW/CREW/CRCW
   accounting and access checking);
+* :mod:`repro.backends` — pluggable execution backends: the simulated
+  :class:`~repro.backends.PRAMBackend` (reproduction fidelity) and the
+  vectorized :class:`~repro.backends.FastBackend` (raw NumPy throughput);
 * :mod:`repro.primitives` — the Lemma 5.1 / 5.2 toolbox (prefix sums, list
   ranking, Euler tours, tree numbering, bracket matching, tree contraction);
 * :mod:`repro.core` — the paper's algorithm (Sections 2-5), the lower-bound
@@ -20,8 +23,15 @@ Quickstart
 ----------
 >>> from repro import random_cotree, minimum_path_cover, minimum_path_cover_size
 >>> tree = random_cotree(200, seed=1)
->>> cover = minimum_path_cover(tree)
->>> cover.num_paths == minimum_path_cover_size(tree)
+>>> cover = minimum_path_cover(tree)                  # simulated (PRAM-costed)
+>>> fast = minimum_path_cover(tree, backend="fast")   # raw NumPy throughput
+>>> cover.num_paths == fast.num_paths == minimum_path_cover_size(tree)
+True
+>>> from repro import solve_batch
+>>> batch = solve_batch([random_cotree(50, seed=s) for s in range(4)])
+>>> [r.num_paths for r in batch] == [minimum_path_cover(t).num_paths
+...                                  for t in (random_cotree(50, seed=s)
+...                                            for s in range(4))]
 True
 """
 
@@ -57,9 +67,21 @@ from .cograph import (
     union_cotrees,
     union_of_cliques,
 )
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionContext,
+    FastBackend,
+    PRAMBackend,
+    make_backend,
+    resolve_context,
+)
 from .core import (
+    BatchResult,
     ParallelPathCoverResult,
     PathCoverSolver,
+    Pipeline,
+    PipelineRun,
+    solve_batch,
     hamiltonian_cycle,
     hamiltonian_path,
     has_hamiltonian_cycle,
@@ -82,18 +104,22 @@ __all__ = [
     "union_of_cliques", "join_of_independent_sets", "balanced_cotree",
     "caterpillar_cotree", "threshold_cograph", "random_cotree",
     "union_cotrees", "join_cotrees", "complement_cotree",
-    # machine
+    # machine + backends
     "PRAM", "AccessMode", "CostReport",
+    "ExecutionContext", "PRAMBackend", "FastBackend",
+    "make_backend", "resolve_context", "BACKEND_NAMES",
     # algorithms
     "minimum_path_cover", "minimum_path_cover_parallel",
     "sequential_path_cover", "ParallelPathCoverResult", "PathCoverSolver",
+    "Pipeline", "PipelineRun", "solve_batch", "BatchResult",
     "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",
     "hamiltonian_cycle",
 ]
 
 
 def minimum_path_cover(tree: Union[Cotree, BinaryCotree], *,
-                       method: str = "parallel") -> PathCover:
+                       method: str = "parallel",
+                       backend: str = "pram") -> PathCover:
     """Find a minimum path cover of a cograph.
 
     Parameters
@@ -102,15 +128,19 @@ def minimum_path_cover(tree: Union[Cotree, BinaryCotree], *,
         the cograph's cotree (use :func:`cotree_from_graph` to obtain one
         from an explicit graph).
     method:
-        ``"parallel"`` (the paper's algorithm on the PRAM simulator) or
-        ``"sequential"`` (the Lin-Olariu-Pruesse reference algorithm).
+        ``"parallel"`` (the paper's algorithm) or ``"sequential"`` (the
+        Lin-Olariu-Pruesse reference algorithm).
+    backend:
+        for the parallel method: ``"pram"`` (default — simulate the paper's
+        machine, with accounting and access checking) or ``"fast"`` (raw
+        vectorized NumPy, same cover, no cost model).
 
     Returns
     -------
     PathCover
     """
     if method == "parallel":
-        return minimum_path_cover_parallel(tree).cover
+        return minimum_path_cover_parallel(tree, backend=backend).cover
     if method == "sequential":
         return sequential_path_cover(tree)
     raise ValueError(f"unknown method {method!r}; use 'parallel' or 'sequential'")

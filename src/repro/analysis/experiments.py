@@ -84,6 +84,15 @@ EXPERIMENTS: List[ExperimentSpec] = [
         ("repro.primitives",),
         "benchmarks/bench_primitives.py"),
     ExperimentSpec(
+        "E9", "backend separation (engineering)",
+        "The pipeline's outputs are backend-independent: the fast vectorized "
+        "backend produces the same covers as the PRAM simulator while being "
+        ">= 5x faster wall-clock at n = 10^4; solve_batch adds "
+        "multi-instance throughput on top.",
+        "all generator families, n = 10^3 .. 10^4, plus instance batches",
+        ("repro.backends", "repro.core.pipeline", "repro.core.batch"),
+        "benchmarks/bench_backends.py"),
+    ExperimentSpec(
         "A1", "leftist condition (ablation)",
         "Without the leftist reordering the 1-node recurrence stops being "
         "minimum: the produced covers are strictly larger on adversarial "

@@ -1,0 +1,102 @@
+"""The throughput backend: raw vectorized NumPy, no simulation.
+
+:class:`FastBackend` implements the
+:class:`~repro.backends.base.ExecutionContext` protocol with zero accounting:
+
+* :meth:`FastBackend.array` returns a :class:`FastArray` whose ``gather`` /
+  ``scatter`` / ``local`` are plain fancy indexing — no address traces, no
+  conflict checking, no step bookkeeping;
+* :meth:`FastBackend.step` yields a shared no-op context manager;
+* :meth:`FastBackend.charge` is a no-op and :meth:`FastBackend.report`
+  returns ``None``.
+
+Because ``simulates`` is ``False``, primitives are additionally licensed to
+*replace their simulated loop by a direct vectorized computation* (e.g.
+``np.cumsum`` for prefix sums, a raw pointer-jumping loop for list ranking).
+Both paths are exercised against each other by ``tests/test_backends.py``,
+which asserts bit-identical outputs across backends for every primitive and
+identical covers for the end-to-end solver.
+
+The backend is stateless; :data:`FAST_BACKEND` is the shared instance that
+``resolve_context(None)`` hands out so the hot path allocates nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager, Optional
+
+import numpy as np
+
+from .base import ExecutionContext
+
+__all__ = ["FastBackend", "FastArray", "FAST_BACKEND"]
+
+
+class FastArray:
+    """A bare NumPy array behind the ``SharedArray`` surface.
+
+    All access methods are unchecked and unaccounted; ``gather`` / ``local``
+    / ``scatter`` are ordinary fancy indexing.
+    """
+
+    __slots__ = ("data", "name")
+
+    def __init__(self, data: np.ndarray, name: str) -> None:
+        self.data = data
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def gather(self, idx) -> np.ndarray:
+        return self.data[idx]
+
+    def local(self, idx) -> np.ndarray:
+        return self.data[idx]
+
+    def scatter(self, idx, values) -> None:
+        self.data[idx] = values
+
+    def fill(self, value) -> None:
+        self.data[:] = value
+
+    def copy_out(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FastArray(name={self.name!r}, len={len(self.data)})"
+
+
+#: a reusable no-op step scope (contextlib.nullcontext is reentrant)
+_NULL_STEP = nullcontext()
+
+
+class FastBackend(ExecutionContext):
+    """Run the pipeline at raw NumPy speed with no cost model attached."""
+
+    name = "fast"
+    simulates = False
+    machine = None
+
+    def array(self, source, dtype=np.int64, name: str = "mem") -> FastArray:
+        if isinstance(source, (int, np.integer)):
+            data = np.zeros(int(source), dtype=dtype)
+        else:
+            data = np.array(source, dtype=dtype)
+        return FastArray(data, name)
+
+    def step(self, active: Optional[int] = None,
+             label: str = "step") -> ContextManager:
+        return _NULL_STEP
+
+    def charge(self, label: str, *, time: int, work: int) -> None:
+        return None
+
+
+#: the shared stateless instance handed out by ``resolve_context(None)``
+FAST_BACKEND = FastBackend()

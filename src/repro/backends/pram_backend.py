@@ -1,0 +1,73 @@
+"""The reproduction-fidelity backend: full PRAM simulation.
+
+A thin adapter putting the :class:`~repro.pram.PRAM` machine behind the
+:class:`~repro.backends.base.ExecutionContext` protocol.  All accounting
+semantics (Brent scheduling, EREW/CREW/CRCW conflict checking, the separate
+charged-cost channel, per-step recording) are the machine's own; the backend
+adds nothing on top, so numbers produced through it are exactly the numbers
+the machine would report when driven directly.
+"""
+
+from __future__ import annotations
+
+from typing import ContextManager, Optional, Union
+
+import numpy as np
+
+from ..pram import PRAM, AccessMode, optimal_processor_count
+from .base import ExecutionContext
+
+__all__ = ["PRAMBackend"]
+
+
+class PRAMBackend(ExecutionContext):
+    """Execute on the PRAM simulator (accounting + access-mode checking).
+
+    Parameters
+    ----------
+    machine:
+        an existing machine to account on; when omitted one is created from
+        the remaining keyword arguments.
+    num_processors, mode, check_conflicts, record_steps:
+        forwarded to :class:`~repro.pram.PRAM` when ``machine`` is ``None``.
+    """
+
+    name = "pram"
+    simulates = True
+
+    def __init__(self, machine: Optional[PRAM] = None, *,
+                 num_processors: Optional[int] = None,
+                 mode: Union[AccessMode, str] = AccessMode.EREW,
+                 check_conflicts: bool = True,
+                 record_steps: bool = False) -> None:
+        if machine is None:
+            machine = PRAM(num_processors, mode,
+                           check_conflicts=check_conflicts,
+                           record_steps=record_steps)
+        self.machine = machine
+
+    @classmethod
+    def for_input_size(cls, n: int, *,
+                       record_steps: bool = False) -> "PRAMBackend":
+        """The paper's Theorem 5.3 configuration: an EREW machine with
+        ``ceil(n / log2 n)`` processors."""
+        return cls(PRAM(optimal_processor_count(max(n, 2)), AccessMode.EREW,
+                        record_steps=record_steps))
+
+    # -- ExecutionContext ------------------------------------------------ #
+
+    def array(self, source, dtype=np.int64, name: str = "mem"):
+        return self.machine.array(source, dtype=dtype, name=name)
+
+    def step(self, active: Optional[int] = None,
+             label: str = "step") -> ContextManager:
+        return self.machine.step(active=active, label=label)
+
+    def charge(self, label: str, *, time: int, work: int) -> None:
+        self.machine.charge(label, time=time, work=work)
+
+    def report(self):
+        return self.machine.report()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PRAMBackend({self.machine!r})"

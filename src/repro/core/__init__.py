@@ -30,7 +30,16 @@ from .lower_bound import (
     or_instance_cotree,
     parallel_or_rounds,
 )
+from .batch import BatchResult, solve_batch
 from .path_trees import PathForest, build_pseudo_forest, legalize_forest, remove_dummies
+from .pipeline import (
+    STAGE_ORDER,
+    Pipeline,
+    PipelineError,
+    PipelineRun,
+    PipelineState,
+    StageTiming,
+)
 from .reduce import ReducedCotree, VertexClass, reduce_cotree
 from .solver import (
     ParallelPathCoverResult,
@@ -47,6 +56,9 @@ __all__ = [
     "build_pseudo_forest", "legalize_forest", "remove_dummies", "PathForest",
     "extract_paths",
     "minimum_path_cover_parallel", "ParallelPathCoverResult", "PathCoverSolver",
+    "Pipeline", "PipelineRun", "PipelineState", "PipelineError",
+    "StageTiming", "STAGE_ORDER",
+    "solve_batch", "BatchResult",
     "or_instance_cotree", "or_from_path_count", "or_from_cover",
     "expected_path_count", "parallel_or_rounds", "LowerBoundInstance",
     "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",

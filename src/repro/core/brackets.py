@@ -25,12 +25,11 @@ then written independently in O(1) — the whole step is ``O(log n)`` time and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from ..backends import resolve_context
 from ..cograph.cotree import JOIN, LEAF
-from ..pram import PRAM
 from ..primitives import prefix_sum
 from .reduce import ReducedCotree, VertexClass
 
@@ -70,11 +69,10 @@ class BracketSequence:
         return self.num_real + self.num_dummies
 
 
-def generate_brackets(machine: Optional[PRAM], reduced: ReducedCotree, *,
+def generate_brackets(ctx, reduced: ReducedCotree, *,
                       label: str = "brackets") -> BracketSequence:
     """Emit the bracket sequence of the reduced cotree."""
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     tree = reduced.tree
     n_nodes = tree.num_nodes
     n_vertices = tree.num_vertices

@@ -9,24 +9,21 @@ that path, and the cover is assembled with one permutation scatter.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
+from ..backends import resolve_context
 from ..cograph import PathCover
-from ..pram import PRAM
 from ..primitives import compute_tree_numbers, prefix_sum
 from .path_trees import PathForest
 
 __all__ = ["extract_paths"]
 
 
-def extract_paths(machine: Optional[PRAM], forest: PathForest, *,
+def extract_paths(ctx, forest: PathForest, *,
                   work_efficient: bool = True,
                   label: str = "extract") -> PathCover:
     """Convert a dummy-free path forest into a :class:`PathCover`."""
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     num_real = forest.num_real
     parent = forest.parent[:num_real]
     left = forest.left[:num_real]

@@ -13,12 +13,10 @@ itself is a single parallel step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
+from ..backends import resolve_context
 from ..cograph import BinaryCotree
-from ..pram import PRAM
 from ..primitives import TreeNumbers, compute_tree_numbers
 
 __all__ = ["LeftistCotree", "leftist_reorder"]
@@ -47,15 +45,14 @@ class LeftistCotree:
         return self.numbers.subtree_leaves
 
 
-def leftist_reorder(machine: Optional[PRAM], tree: BinaryCotree, *,
+def leftist_reorder(ctx, tree: BinaryCotree, *,
                     work_efficient: bool = True,
                     label: str = "leftist") -> LeftistCotree:
     """Compute ``L(u)`` and swap children so every node is leftist.
 
     Returns a :class:`LeftistCotree`; the input tree is not modified.
     """
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
 
     numbers = compute_tree_numbers(machine, tree.left, tree.right, tree.parent,
                                    [tree.root], work_efficient=work_efficient,

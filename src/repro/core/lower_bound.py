@@ -22,13 +22,14 @@ benchmark reports as the matching upper-bound curve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from ..backends import resolve_context
 from ..cograph import Cotree, PathCover
 from ..cograph.cotree import JOIN, LEAF, UNION
-from ..pram import PRAM, AccessMode
+from ..pram import AccessMode
 from ..primitives import total_sum
 
 __all__ = [
@@ -127,7 +128,7 @@ def or_from_cover(cover: PathCover, instance: LowerBoundInstance) -> int:
     raise ValueError("vertex y is missing from the cover")
 
 
-def parallel_or_rounds(machine: Optional[PRAM], bits: Sequence[int]) -> int:
+def parallel_or_rounds(ctx, bits: Sequence[int]) -> int:
     """Compute OR of ``n`` bits by balanced fan-in on the given machine and
     return the result.
 
@@ -138,9 +139,9 @@ def parallel_or_rounds(machine: Optional[PRAM], bits: Sequence[int]) -> int:
     bites.
     """
     bits = np.asarray(list(bits), dtype=np.int64)
-    if machine is None:
-        machine = PRAM.null()
-    if machine.mode in (AccessMode.CRCW_COMMON, AccessMode.CRCW_ARBITRARY):
+    machine = resolve_context(ctx)
+    mode = machine.machine.mode if machine.machine is not None else None
+    if mode in (AccessMode.CRCW_COMMON, AccessMode.CRCW_ARBITRARY):
         out = machine.array(1, name="or.out")
         ones = np.flatnonzero(bits == 1)
         with machine.step(active=max(len(ones), 1), label="or:crcw-write"):

@@ -21,11 +21,11 @@ dummy removal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 from ..primitives import compute_tree_numbers, match_brackets, prefix_max, prefix_sum
 from .brackets import ROLE_L, ROLE_P, ROLE_R, BracketSequence
 from .reduce import ReducedCotree, VertexClass
@@ -73,12 +73,11 @@ class PathForest:
 # Step 5: matching -> pseudo forest
 # --------------------------------------------------------------------------- #
 
-def build_pseudo_forest(machine: Optional[PRAM], seq: BracketSequence, *,
+def build_pseudo_forest(ctx, seq: BracketSequence, *,
                         block_prepass: bool = True,
                         label: str = "pseudo") -> PathForest:
     """Match the brackets and convert the matched pairs into tree edges."""
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     total_nodes = seq.total_nodes()
     parent = np.full(total_nodes, -1, dtype=np.int64)
     left = np.full(total_nodes, -1, dtype=np.int64)
@@ -129,15 +128,14 @@ def build_pseudo_forest(machine: Optional[PRAM], seq: BracketSequence, *,
 # Step 6: legalisation
 # --------------------------------------------------------------------------- #
 
-def legalize_forest(machine: Optional[PRAM], forest: PathForest,
+def legalize_forest(ctx, forest: PathForest,
                     reduced: ReducedCotree, *, work_efficient: bool = True,
                     label: str = "legalize") -> Tuple[PathForest, int]:
     """Exchange illegal insert vertices with legal dummy vertices.
 
     Returns the legalised forest (a copy) and the number of exchanges made.
     """
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     forest = forest.copy()
     n_total = forest.num_nodes
     num_real = forest.num_real
@@ -283,7 +281,7 @@ def _set_child(left: np.ndarray, right: np.ndarray, parents: np.ndarray,
 # Step 7: dummy removal
 # --------------------------------------------------------------------------- #
 
-def remove_dummies(machine: Optional[PRAM], forest: PathForest, *,
+def remove_dummies(ctx, forest: PathForest, *,
                    label: str = "compress") -> PathForest:
     """Splice every dummy vertex out of its path tree.
 
@@ -291,8 +289,7 @@ def remove_dummies(machine: Optional[PRAM], forest: PathForest, *,
     emits only a ``d^r(`` bracket), so removal is path compression along
     dummy chains: the first non-dummy descendant takes the dummy's place.
     """
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     forest = forest.copy()
     num_real = forest.num_real
     if forest.num_dummies == 0:

@@ -25,13 +25,12 @@ owner of such a region is the 1-node just above its root.  This is the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from ..backends import resolve_context
 from ..cograph import BinaryCotree
 from ..cograph.cotree import JOIN, LEAF, UNION
-from ..pram import PRAM
 from ..primitives import (
     evaluate_max_plus_tree,
     prefix_sum,
@@ -113,12 +112,11 @@ class ReducedCotree:
         return int(self.p[self.tree.root])
 
 
-def reduce_cotree(machine: Optional[PRAM], leftist: LeftistCotree, *,
+def reduce_cotree(ctx, leftist: LeftistCotree, *,
                   work_efficient: bool = True,
                   label: str = "reduce") -> ReducedCotree:
     """Compute ``p(u)``, the flattened regions and the vertex classification."""
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     tree = leftist.tree
     numbers = leftist.numbers
     n_nodes = tree.num_nodes

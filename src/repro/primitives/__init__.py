@@ -1,8 +1,11 @@
-"""Parallel primitives on the PRAM simulator (the paper's Lemma 5.1 / 5.2).
+"""Parallel primitives (the paper's Lemma 5.1 / 5.2).
 
-Every primitive takes the machine as its first argument, executes as a
-sequence of synchronous data-parallel steps, and returns plain NumPy arrays;
-passing ``machine=None`` runs the same computation without accounting.
+Every primitive takes an execution context as its first argument — anything
+:func:`repro.backends.resolve_context` accepts: a
+:class:`~repro.backends.PRAMBackend` (or a raw :class:`~repro.pram.PRAM`
+machine) for simulated, accounted, conflict-checked execution; a
+:class:`~repro.backends.FastBackend`, backend name, or ``None`` for raw
+vectorized NumPy execution with identical outputs and no accounting.
 """
 
 from .ancestors import topmost_marked_ancestor, topmost_marked_ancestor_jumping

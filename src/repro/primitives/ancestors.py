@@ -19,18 +19,18 @@ Two implementations are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 from .euler_tour import build_euler_tour
 from .scan import NEG_INF, prefix_max, prefix_sum
 
 __all__ = ["topmost_marked_ancestor", "topmost_marked_ancestor_jumping"]
 
 
-def topmost_marked_ancestor(machine: Optional[PRAM], left, right, parent,
+def topmost_marked_ancestor(ctx, left, right, parent,
                             roots: Sequence[int], marked, *,
                             work_efficient: bool = True,
                             label: str = "topmark") -> np.ndarray:
@@ -44,8 +44,7 @@ def topmost_marked_ancestor(machine: Optional[PRAM], left, right, parent,
     right = np.asarray(right, dtype=np.int64)
     parent = np.asarray(parent, dtype=np.int64)
     n = len(marked)
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     if n == 0:
         return np.full(0, -1, dtype=np.int64)
 
@@ -98,7 +97,7 @@ def topmost_marked_ancestor(machine: Optional[PRAM], left, right, parent,
     return top
 
 
-def topmost_marked_ancestor_jumping(machine: Optional[PRAM], parent, marked, *,
+def topmost_marked_ancestor_jumping(ctx, parent, marked, *,
                                     label: str = "topmark-crew") -> np.ndarray:
     """Pointer-doubling variant (CREW: children concurrently read their
     parent's cells).  Kept as an independent oracle and for the EREW/CREW
@@ -106,8 +105,7 @@ def topmost_marked_ancestor_jumping(machine: Optional[PRAM], parent, marked, *,
     parent = np.asarray(parent, dtype=np.int64)
     marked = np.asarray(marked, dtype=bool)
     n = len(parent)
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     if n == 0:
         return np.full(0, -1, dtype=np.int64)
 

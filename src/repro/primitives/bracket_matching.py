@@ -29,25 +29,23 @@ EXPERIMENTS.md (E8).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 from .scan import prefix_sum
 
 __all__ = ["match_brackets"]
 
 
-def match_brackets(machine: Optional[PRAM], is_open, *,
+def match_brackets(ctx, is_open, *,
                    block_prepass: bool = True,
                    label: str = "match") -> np.ndarray:
     """Match every bracket of the sequence.
 
     Parameters
     ----------
-    machine:
-        PRAM to account on (``None`` disables accounting).
+    ctx:
+        execution context (or a raw PRAM machine / backend name / ``None``).
     is_open:
         boolean array; ``True`` for ``(`` / ``[``, ``False`` for ``)`` / ``]``.
     block_prepass:
@@ -60,13 +58,18 @@ def match_brackets(machine: Optional[PRAM], is_open, *,
         ``match[i]`` is the position of the bracket matching position ``i``,
         or ``-1`` when ``i`` is unmatched.  The relation is symmetric.
     """
+    machine = resolve_context(ctx)
     is_open = np.asarray(is_open, dtype=bool)
     n = len(is_open)
-    if machine is None:
-        machine = PRAM.null()
     match = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return match
+
+    if not machine.simulates:
+        # the match relation is unique, so the block pre-pass (a per-block
+        # Python loop that only exists to make the simulated *work* linear)
+        # is pure overhead here: one global level-grouping pass suffices.
+        return _match_by_levels(machine, is_open, label=label)
 
     unresolved = np.ones(n, dtype=bool)
 
@@ -88,7 +91,7 @@ def match_brackets(machine: Optional[PRAM], is_open, *,
 # work-efficient intra-block pre-pass
 # --------------------------------------------------------------------------- #
 
-def _intra_block_matching(machine: PRAM, is_open: np.ndarray,
+def _intra_block_matching(machine, is_open: np.ndarray,
                           match: np.ndarray, unresolved: np.ndarray, *,
                           label: str) -> None:
     """Match brackets whose partner lies in the same block of ``ceil(log2 n)``
@@ -145,7 +148,7 @@ def _intra_block_matching(machine: PRAM, is_open: np.ndarray,
 # level-grouping matcher
 # --------------------------------------------------------------------------- #
 
-def _match_by_levels(machine: PRAM, is_open: np.ndarray, *,
+def _match_by_levels(machine, is_open: np.ndarray, *,
                      label: str) -> np.ndarray:
     """Match a bracket sequence by grouping positions by nesting level."""
     n = len(is_open)
@@ -159,10 +162,11 @@ def _match_by_levels(machine: PRAM, is_open: np.ndarray, *,
     # n processors (Cole's EREW merge sort depth); see the module docstring
     # for the work discussion.
     order = np.lexsort((np.arange(n), level))
-    sort_rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
-    for _ in range(sort_rounds):
-        with machine.step(active=n, label=f"{label}:sort"):
-            pass
+    if machine.simulates:
+        sort_rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
+        for _ in range(sort_rounds):
+            with machine.step(active=n, label=f"{label}:sort"):
+                pass
 
     sorted_level = level[order]
     sorted_open = is_open[order]

@@ -28,11 +28,11 @@ ranking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 from .list_ranking import list_ranks
 from .scan import prefix_sum
 
@@ -84,7 +84,7 @@ class EulerTour:
         out[self.position] = arc_values
         return out
 
-    def prefix_over_tour(self, machine: Optional[PRAM], arc_values,
+    def prefix_over_tour(self, ctx, arc_values,
                          *, inclusive: bool = True,
                          label: str = "tour-prefix") -> np.ndarray:
         """Prefix sums of per-arc values taken in tour order.
@@ -93,9 +93,16 @@ class EulerTour:
         ``arc_values`` over all arcs up to (and, if ``inclusive``, including)
         that arc in tour order.
         """
-        if machine is None:
-            machine = PRAM.null()
+        machine = resolve_context(ctx)
         arc_values = np.asarray(arc_values, dtype=np.int64)
+        if not machine.simulates:
+            # permute into tour order, scan, permute back — one shot
+            by_pos = np.zeros(2 * self.num_nodes, dtype=np.int64)
+            by_pos[self.position] = arc_values
+            scanned = np.cumsum(by_pos, dtype=np.int64)
+            if not inclusive:
+                scanned -= by_pos
+            return scanned[self.position]
         by_pos = machine.array(2 * self.num_nodes, name=f"{label}.by-pos")
         arcs = np.arange(2 * self.num_nodes, dtype=np.int64)
         with machine.step(active=2 * self.num_nodes, label=f"{label}:permute"):
@@ -109,15 +116,15 @@ class EulerTour:
         return out_arr.data.copy()
 
 
-def build_euler_tour(machine: Optional[PRAM], left, right, parent,
+def build_euler_tour(ctx, left, right, parent,
                      roots: Sequence[int], *, work_efficient: bool = True,
                      label: str = "euler") -> EulerTour:
     """Build the Euler tour of a binary forest and rank it.
 
     Parameters
     ----------
-    machine:
-        PRAM to account on (``None`` for no accounting).
+    ctx:
+        execution context (or a raw PRAM machine / backend name / ``None``).
     left, right, parent:
         binary-tree arrays (``-1`` where absent).
     roots:
@@ -132,8 +139,7 @@ def build_euler_tour(machine: Optional[PRAM], left, right, parent,
     parent = np.asarray(parent, dtype=np.int64)
     roots = np.asarray(list(roots), dtype=np.int64)
     n = len(left)
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     if n == 0:
         return EulerTour(np.empty(0, dtype=np.int64),
                          np.empty(0, dtype=np.int64), 0, roots)

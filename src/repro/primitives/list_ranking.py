@@ -14,15 +14,21 @@ distance to the tail of its list.  Two algorithms are provided:
 Both compute *suffix sums*: ``rank[i] = sum of weights from i to the tail of
 its list, inclusive``.  With unit weights this is "distance to the tail plus
 one"; heads therefore carry the length of their list.
+
+The ranks are a deterministic function of the list (independent of the
+contraction schedule), so under a non-simulating context both entry points
+share one raw vectorized pointer-jumping loop — no shared-array layer, no
+step bookkeeping — and still return exactly the values the simulated
+algorithms produce.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 
 __all__ = ["wyllie_list_ranking", "work_efficient_list_ranking", "list_ranks"]
 
@@ -39,7 +45,25 @@ def _prepare(successor, weights) -> Tuple[np.ndarray, np.ndarray]:
     return succ, w
 
 
-def wyllie_list_ranking(machine: Optional[PRAM], successor, weights=None, *,
+def _pointer_jump_raw(succ: np.ndarray, rank: np.ndarray) -> np.ndarray:
+    """Wyllie pointer jumping on bare arrays (mutates and returns ``rank``).
+
+    The arithmetic is identical to the simulated loop in
+    :func:`wyllie_list_ranking`, so the outputs agree bit for bit.
+    """
+    n = len(succ)
+    rounds = max(1, int(np.ceil(np.log2(max(n, 2)))) + 1)
+    for _ in range(rounds):
+        active = np.flatnonzero(succ != -1)
+        if len(active) == 0:
+            break
+        nxt = succ[active]
+        rank[active] += rank[nxt]
+        succ[active] = succ[nxt]
+    return rank
+
+
+def wyllie_list_ranking(ctx, successor, weights=None, *,
                         label: str = "wyllie") -> np.ndarray:
     """Pointer-jumping list ranking (suffix sums).
 
@@ -47,13 +71,15 @@ def wyllie_list_ranking(machine: Optional[PRAM], successor, weights=None, *,
     tail.  Lists must be vertex-disjoint (the successor map is injective on
     its non-``-1`` domain); this is what makes each round EREW-safe.
     """
+    ctx = resolve_context(ctx)
     succ, w = _prepare(successor, weights)
     n = len(succ)
-    if machine is None:
-        machine = PRAM.null()
     if n == 0:
         return w
+    if not ctx.simulates:
+        return _pointer_jump_raw(succ, w)
 
+    machine = ctx
     rank_arr = machine.array(w, name=f"{label}.rank")
     succ_arr = machine.array(succ, name=f"{label}.succ")
 
@@ -77,8 +103,8 @@ def wyllie_list_ranking(machine: Optional[PRAM], successor, weights=None, *,
     return rank_arr.data.copy()
 
 
-def work_efficient_list_ranking(machine: Optional[PRAM], successor,
-                                weights=None, *, seed: int = 0,
+def work_efficient_list_ranking(ctx, successor, weights=None, *,
+                                seed: int = 0,
                                 label: str = "rank") -> np.ndarray:
     """Work-efficient list ranking by random-mate contraction.
 
@@ -91,12 +117,16 @@ def work_efficient_list_ranking(machine: Optional[PRAM], successor,
     same bounds without randomness; the random-mate variant keeps the
     implementation compact while exhibiting the same cost shape.
     """
+    ctx = resolve_context(ctx)
     succ0, w0 = _prepare(successor, weights)
     n = len(succ0)
-    if machine is None:
-        machine = PRAM.null()
     if n == 0:
         return w0
+    if not ctx.simulates:
+        # ranks do not depend on the contraction schedule; skip it entirely
+        return _pointer_jump_raw(succ0, w0)
+
+    machine = ctx
     rng = np.random.default_rng(seed)
 
     succ_arr = machine.array(succ0, name=f"{label}.succ")
@@ -164,11 +194,11 @@ def work_efficient_list_ranking(machine: Optional[PRAM], successor,
     return rank_arr.data.copy()
 
 
-def list_ranks(machine: Optional[PRAM], successor, weights=None, *,
+def list_ranks(ctx, successor, weights=None, *,
                work_efficient: bool = True, seed: int = 0,
                label: str = "rank") -> np.ndarray:
     """Dispatcher used by the higher-level primitives."""
     if work_efficient:
-        return work_efficient_list_ranking(machine, successor, weights,
+        return work_efficient_list_ranking(ctx, successor, weights,
                                            seed=seed, label=label)
-    return wyllie_list_ranking(machine, successor, weights, label=label)
+    return wyllie_list_ranking(ctx, successor, weights, label=label)

@@ -1,4 +1,4 @@
-"""Parallel prefix sums (scan) on the PRAM simulator — Lemma 5.1(2).
+"""Parallel prefix sums (scan) — Lemma 5.1(2).
 
 Two variants are provided:
 
@@ -7,17 +7,21 @@ Two variants are provided:
 * :func:`prefix_sum_hillis_steele` — the simpler ``log n``-round,
   ``O(n log n)``-work scan, kept for the primitive ablation benchmarks.
 
-Both return ordinary NumPy arrays; accounting happens on the supplied
-machine.
+Every function takes an execution context (or anything
+:func:`~repro.backends.resolve_context` accepts — a raw
+:class:`~repro.pram.PRAM` machine, a backend name, or ``None``) as its first
+argument.  Under a simulating context the sweeps execute step by step on the
+machine; under the fast backend the same results come from one
+``np.cumsum`` / ``np.maximum.accumulate`` call.  Outputs are bit-identical
+either way (integer addition and max are associative), which the backend
+parity tests assert.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import ExecutionContext, resolve_context
 
 __all__ = ["prefix_sum", "prefix_sum_hillis_steele", "total_sum", "prefix_max"]
 
@@ -33,15 +37,16 @@ def _as_int_array(values) -> np.ndarray:
     return arr.astype(np.int64, copy=False)
 
 
-def prefix_sum(machine: Optional[PRAM], values, *, inclusive: bool = True,
+def prefix_sum(ctx, values, *, inclusive: bool = True,
                label: str = "scan") -> np.ndarray:
     """Work-efficient parallel prefix sums.
 
     Parameters
     ----------
-    machine:
-        the :class:`~repro.pram.PRAM` to account on; ``None`` runs without
-        accounting (still producing identical output).
+    ctx:
+        execution context (``None`` / ``"fast"`` / ``"pram"`` / a
+        :class:`~repro.pram.PRAM` machine / an
+        :class:`~repro.backends.ExecutionContext`).
     values:
         integer (or boolean) sequence.
     inclusive:
@@ -53,13 +58,16 @@ def prefix_sum(machine: Optional[PRAM], values, *, inclusive: bool = True,
     numpy.ndarray
         the scanned array, same length as the input.
     """
+    ctx = resolve_context(ctx)
     x = _as_int_array(values)
     n = len(x)
-    if machine is None:
-        machine = PRAM.null()
     if n == 0:
         return x.copy()
+    if not ctx.simulates:
+        out = np.cumsum(x, dtype=np.int64)
+        return out if inclusive else out - x
 
+    machine = ctx
     m = 1 << max(1, int(np.ceil(np.log2(max(n, 2)))))
     buf = machine.array(m, name=f"{label}.buffer")
     buf.data[:n] = x
@@ -101,18 +109,26 @@ def prefix_sum(machine: Optional[PRAM], values, *, inclusive: bool = True,
     return out.data.copy()
 
 
-def prefix_max(machine: Optional[PRAM], values, *, inclusive: bool = True,
+def prefix_max(ctx, values, *, inclusive: bool = True,
                label: str = "scan-max") -> np.ndarray:
     """Work-efficient parallel prefix *maximum* (same sweep structure as
     :func:`prefix_sum`, with ``max`` as the associative operator and
     :data:`NEG_INF` as its identity)."""
+    ctx = resolve_context(ctx)
     x = _as_int_array(values)
     n = len(x)
-    if machine is None:
-        machine = PRAM.null()
     if n == 0:
         return x.copy()
+    if not ctx.simulates:
+        incl = np.maximum.accumulate(np.maximum(x, NEG_INF))
+        if inclusive:
+            return incl
+        out = np.empty(n, dtype=np.int64)
+        out[0] = NEG_INF
+        out[1:] = incl[:-1]
+        return out
 
+    machine = ctx
     m = 1 << max(1, int(np.ceil(np.log2(max(n, 2)))))
     buf = machine.array(np.full(m, NEG_INF, dtype=np.int64), name=f"{label}.buffer")
     buf.data[:n] = x
@@ -151,17 +167,22 @@ def prefix_max(machine: Optional[PRAM], values, *, inclusive: bool = True,
     return out.data.copy()
 
 
-def prefix_sum_hillis_steele(machine: Optional[PRAM], values, *,
-                             inclusive: bool = True,
+def prefix_sum_hillis_steele(ctx, values, *, inclusive: bool = True,
                              label: str = "scan-hs") -> np.ndarray:
     """The simple (non work-efficient) scan: ``ceil(log2 n)`` rounds, each
     with ``n`` active processors (``O(n log n)`` work)."""
+    ctx = resolve_context(ctx)
     x = _as_int_array(values)
     n = len(x)
-    if machine is None:
-        machine = PRAM.null()
     if n == 0:
         return x.copy()
+    if not ctx.simulates:
+        out = np.cumsum(x, dtype=np.int64)
+        if inclusive:
+            return out
+        return out - x
+
+    machine = ctx
     buf = machine.array(x, name=f"{label}.buffer")
     d = 1
     while d < n:
@@ -180,14 +201,17 @@ def prefix_sum_hillis_steele(machine: Optional[PRAM], values, *,
     return out
 
 
-def total_sum(machine: Optional[PRAM], values, *, label: str = "reduce") -> int:
+def total_sum(ctx, values, *, label: str = "reduce") -> int:
     """Parallel reduction (sum) — ``ceil(log2 n)`` rounds, ``O(n)`` work."""
+    ctx = resolve_context(ctx)
     x = _as_int_array(values)
     n = len(x)
     if n == 0:
         return 0
-    if machine is None:
-        machine = PRAM.null()
+    if not ctx.simulates:
+        return int(x.sum())
+
+    machine = ctx
     m = 1 << max(1, int(np.ceil(np.log2(max(n, 2)))))
     buf = machine.array(m, name=f"{label}.buffer")
     buf.data[:n] = x

@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 from ..cograph.cotree import JOIN, LEAF, UNION
 
 __all__ = [
@@ -113,7 +113,7 @@ class _RakeEvent:
 # --------------------------------------------------------------------------- #
 
 def evaluate_max_plus_tree(
-    machine: Optional[PRAM],
+    ctx,
     left,
     right,
     parent,
@@ -164,8 +164,7 @@ def evaluate_max_plus_tree(
     join_const = np.asarray(join_const, dtype=np.int64)
     leaf_values = np.asarray(leaf_values, dtype=np.int64)
     n = len(left)
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
 
     val = np.full(n, NEG_INF, dtype=np.int64)
     is_leaf = kind == LEAF
@@ -280,7 +279,7 @@ def _select_rake_candidates(odd_leaves: np.ndarray, parent: np.ndarray,
     return odd_leaves[mask]
 
 
-def _rake(machine: PRAM, cand: np.ndarray, cur_left, cur_right, cur_parent,
+def _rake(machine, cand: np.ndarray, cur_left, cur_right, cur_parent,
           cur_side, fa, fb, kind: np.ndarray, join_const: np.ndarray,
           val: np.ndarray, *, label: str) -> _RakeEvent:
     """Rake all candidate leaves simultaneously (one PRAM sub-step)."""

@@ -14,11 +14,11 @@ each as a plain NumPy array indexed by node id.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..pram import PRAM
+from ..backends import resolve_context
 from .euler_tour import EulerTour, build_euler_tour
 
 __all__ = ["TreeNumbers", "compute_tree_numbers"]
@@ -37,7 +37,7 @@ class TreeNumbers:
     tour: EulerTour
 
 
-def compute_tree_numbers(machine: Optional[PRAM], left, right, parent,
+def compute_tree_numbers(ctx, left, right, parent,
                          roots: Sequence[int], *,
                          work_efficient: bool = True,
                          label: str = "numbering") -> TreeNumbers:
@@ -53,8 +53,7 @@ def compute_tree_numbers(machine: Optional[PRAM], left, right, parent,
     left subtree (for nodes with only a right child, at the enter arc; this
     matches the usual inorder convention for binary trees).
     """
-    if machine is None:
-        machine = PRAM.null()
+    machine = resolve_context(ctx)
     left = np.asarray(left, dtype=np.int64)
     right = np.asarray(right, dtype=np.int64)
     parent = np.asarray(parent, dtype=np.int64)

@@ -30,7 +30,7 @@ from repro.cograph import (
     random_cotree,
     union_of_cliques,
 )
-from .conftest import nested_cotree_specs
+from conftest import nested_cotree_specs
 
 
 class TestSequential:

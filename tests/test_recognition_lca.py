@@ -20,7 +20,7 @@ from repro.cograph import (
     random_cotree,
     validate_cotree,
 )
-from .conftest import small_graphs
+from conftest import small_graphs
 
 
 def path_graph(n: int) -> Graph:

@@ -25,7 +25,7 @@ from repro.cograph import (
 )
 from repro.core import PathCoverSolver, minimum_path_cover_parallel
 from repro.pram import PRAM, AccessMode, optimal_processor_count
-from .conftest import nested_cotree_specs
+from conftest import nested_cotree_specs
 
 
 def assert_optimal(tree, result):
