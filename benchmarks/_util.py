@@ -18,6 +18,27 @@ from repro.analysis import format_markdown_table, format_table
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
+def solution_row(solution, **extra) -> Dict:
+    """Standard table columns for one :class:`repro.api.Solution`.
+
+    Harnesses that measure through the ``solve()`` front door share these
+    base columns (task, backend, instance size, cover size, and the PRAM
+    accounting when the run simulated) and merge harness-specific ones via
+    ``extra``.
+    """
+    row = {
+        "task": solution.task,
+        "backend": solution.backend,
+        "n": solution.provenance.get("num_vertices"),
+        "paths": solution.num_paths,
+    }
+    if solution.report is not None:
+        row["rounds"] = solution.report.rounds
+        row["work"] = solution.report.work
+    row.update(extra)
+    return row
+
+
 def write_result_table(experiment_id: str, title: str,
                        rows: Sequence[Dict], columns: Sequence[str] = None) -> str:
     """Write the experiment's table to ``benchmarks/results`` and return it."""

@@ -5,7 +5,7 @@ identical, so the wall-clock gap is exactly the price of fidelity (per-step
 Brent accounting + EREW conflict checking).  The table reports, per generator
 family and size, both backends' wall-clock, the speedup, and the per-stage
 timing breakdown the named-stage pipeline collects; a batch row shows the
-``solve_batch`` throughput API on the same instances.
+``solve_many`` throughput API on the same instances.
 
 Run standalone for the smoke configuration used by CI::
 
@@ -24,9 +24,9 @@ from repro.cograph import (
     threshold_cograph,
     union_of_cliques,
 )
-from repro.core import minimum_path_cover_parallel, solve_batch
+from repro.api import solve, solve_many
 
-from _util import write_result_table
+from _util import solution_row, write_result_table
 
 FAMILIES = {
     "random": lambda n: random_cotree(n, seed=n, join_prob=0.5),
@@ -41,10 +41,14 @@ SMOKE_SIZES = [200, 600]
 #: the acceptance threshold asserted at the largest size
 MIN_SPEEDUP_AT_10K = 5.0
 
+#: E9 table columns (solution_row base columns + the harness extras)
+COLUMNS = ["family", "task", "backend", "n", "paths",
+           "fast (s)", "pram (s)", "speedup", "slowest fast stage"]
+
 
 def _time_solve(tree, backend: str):
     t0 = time.perf_counter()
-    result = minimum_path_cover_parallel(tree, backend=backend)
+    result = solve(tree, backend=backend)
     return time.perf_counter() - t0, result
 
 
@@ -66,53 +70,51 @@ def run_backend_comparison(sizes, *, repeats: int = 1):
             speedup = pram_t / max(fast_t, 1e-9)
             if n == max(sizes):
                 largest_speedups.append(speedup)
-            rows.append({
-                "family": family,
-                "n": tree.num_vertices,
-                "fast (s)": round(fast_t, 4),
-                "pram (s)": round(pram_t, 4),
-                "speedup": round(speedup, 1),
-                "paths": fast.num_paths,
-                "slowest fast stage": slowest,
-            })
+            rows.append(solution_row(
+                fast, family=family,
+                **{"fast (s)": round(fast_t, 4),
+                   "pram (s)": round(pram_t, 4),
+                   "speedup": round(speedup, 1),
+                   "slowest fast stage": slowest}))
     return rows, (min(largest_speedups) if largest_speedups else None)
 
 
 def run_batch_throughput(n: int = 500, count: int = 8):
-    """One ``solve_batch`` row, shaped like the family rows."""
+    """One ``solve_many`` row, shaped like the family rows."""
     trees = [random_cotree(n, seed=s, join_prob=0.5) for s in range(count)]
     t0 = time.perf_counter()
-    results = solve_batch(trees, backend="fast", jobs=1)
+    results = solve_many(trees, backend="fast", jobs=1)
     batch_t = time.perf_counter() - t0
     assert [r.num_paths for r in results] == \
         [minimum_path_cover_size(t) for t in trees]
-    return {"family": f"solve_batch x{count}", "n": n,
-            "fast (s)": round(batch_t, 4), "pram (s)": "",
-            "speedup": "", "paths": sum(r.num_paths for r in results),
-            "slowest fast stage": f"{count / max(batch_t, 1e-9):.0f} inst/s"}
+    row = solution_row(
+        results[0], family=f"solve_many x{count}",
+        **{"fast (s)": round(batch_t, 4), "pram (s)": "", "speedup": "",
+           "slowest fast stage": f"{count / max(batch_t, 1e-9):.0f} inst/s"})
+    row["paths"] = sum(r.num_paths for r in results)
+    return row
 
 
 def test_backend_speedup_table(benchmark):
     """The E9 table: wall-clock of both backends across families/sizes."""
     rows, min_speedup = run_backend_comparison(SIZES)
     rows.append(run_batch_throughput())
-    write_result_table("E9", "execution backends — fast vs simulated", rows)
+    write_result_table("E9", "execution backends — fast vs simulated",
+                       rows, COLUMNS)
 
     # the fast backend must beat the simulator by >= 5x at n = 10k in
     # every family (the pluggable-backend acceptance criterion)
     assert min_speedup is not None and min_speedup >= MIN_SPEEDUP_AT_10K, \
         f"fast backend speedup {min_speedup:.1f}x < {MIN_SPEEDUP_AT_10K}x"
 
-    benchmark(lambda: minimum_path_cover_parallel(
-        random_cotree(4000, seed=4000), backend="fast"))
+    benchmark(lambda: solve(random_cotree(4000, seed=4000), backend="fast"))
 
 
 @pytest.mark.parametrize("backend", ["fast", "pram"])
 def test_backend_wallclock(benchmark, backend):
     """Per-backend wall-clock at a representative size (pytest-benchmark)."""
     tree = random_cotree(2000, seed=2000, join_prob=0.5)
-    result = benchmark(lambda: minimum_path_cover_parallel(tree,
-                                                           backend=backend))
+    result = benchmark(lambda: solve(tree, backend=backend))
     assert result.num_paths == minimum_path_cover_size(tree)
 
 
@@ -122,7 +124,8 @@ def main(argv=None) -> int:
     sizes = SMOKE_SIZES if "--smoke" in argv else SIZES
     rows, min_speedup = run_backend_comparison(sizes)
     rows.append(run_batch_throughput(n=200 if "--smoke" in argv else 500))
-    write_result_table("E9", "execution backends — fast vs simulated", rows)
+    write_result_table("E9", "execution backends — fast vs simulated",
+                       rows, COLUMNS)
     print(f"minimum speedup at n={max(sizes)}: {min_speedup:.1f}x")
     if "--smoke" not in argv and min_speedup < MIN_SPEEDUP_AT_10K:
         print(f"FAIL: below the {MIN_SPEEDUP_AT_10K}x acceptance threshold")

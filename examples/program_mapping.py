@@ -19,9 +19,8 @@ Run with:  python examples/program_mapping.py
 from repro import (
     independent_set,
     join_cotrees,
-    minimum_path_cover_parallel,
     minimum_path_cover_size,
-    sequential_path_cover,
+    solve,
     union_cotrees,
 )
 from repro.analysis import format_table
@@ -51,7 +50,7 @@ def main() -> None:
         # of 2 tasks, composed in series; plus an independent logging block.
         pipeline = series(stage(3), stage(fanout), stage(2))
         system = parallel(pipeline, stage(2))
-        result = minimum_path_cover_parallel(system)
+        result = solve(system)
         rows.append({
             "map fan-out": fanout,
             "tasks": system.num_vertices,
@@ -65,7 +64,7 @@ def main() -> None:
     # show one concrete assignment for the widest configuration
     pipeline = series(stage(3), stage(10), stage(2))
     system = parallel(pipeline, stage(2))
-    cover = sequential_path_cover(system)
+    cover = solve(system, method="sequential").cover
     print("\nlane assignment for fan-out 10 (one line per lane):")
     for i, lane in enumerate(cover.paths, 1):
         print(f"  lane {i}: tasks {lane}")

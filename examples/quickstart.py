@@ -1,18 +1,10 @@
 #!/usr/bin/env python
-"""Quickstart: build a cograph, find a minimum path cover, inspect the cost.
+"""Quickstart: one front door — solve() — for every task and input form.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    Graph,
-    cotree_from_graph,
-    minimum_path_cover_parallel,
-    minimum_path_cover_size,
-    random_cotree,
-    sequential_path_cover,
-    solve_batch,
-)
+from repro import Graph, SolveOptions, random_cotree, solve, solve_many
 from repro.io import render_cotree, render_cover
 
 
@@ -23,15 +15,16 @@ def main() -> None:
     print(render_cotree(tree))
     print()
 
-    # -- ... or from an explicit graph via recognition -------------------- #
+    # -- ... or from any other form solve() understands ------------------- #
     graph = Graph.from_cotree(tree)          # any P4-free edge list works
-    tree_again = cotree_from_graph(graph)
-    assert Graph.from_cotree(tree_again) == graph
+    assert solve(graph, task="recognition").answer is True
+    assert solve("(0 + (1 * 2))").num_paths == 2          # cotree text
+    assert solve({0: [1], 1: [0]}).num_paths == 1         # adjacency dict
 
     # -- 2. the paper's parallel algorithm -------------------------------- #
-    result = minimum_path_cover_parallel(tree, validate=True)
+    result = solve(tree, validate=True)      # backend="pram" is the default
     print(f"minimum path cover size: {result.num_paths} "
-          f"(analytic p(root) = {minimum_path_cover_size(tree)})")
+          f"(analytic p(root) = {solve(tree, task='path_cover_size').answer})")
     print(render_cover(result.cover))
     print()
 
@@ -41,22 +34,33 @@ def main() -> None:
     print()
 
     # -- 4. the sequential reference agrees ------------------------------- #
-    sequential = sequential_path_cover(tree)
+    sequential = solve(tree, options=SolveOptions(method="sequential"))
     assert sequential.num_paths == result.num_paths
     print(f"sequential Lin-Olariu-Pruesse algorithm: "
           f"{sequential.num_paths} paths (agrees)")
     print()
 
     # -- 5. the fast backend: same cover, no simulation ------------------- #
-    fast = minimum_path_cover_parallel(tree, backend="fast")
+    fast = solve(tree, backend="fast")
     assert fast.cover.paths == result.cover.paths
     slowest = max(fast.stage_seconds, key=fast.stage_seconds.get)
     print(f"fast backend agrees; slowest pipeline stage was {slowest!r}")
 
-    # -- 6. batches of instances ------------------------------------------ #
-    batch = solve_batch([random_cotree(40, seed=s) for s in range(6)])
-    print(f"solve_batch: covers of sizes "
+    # -- 6. Hamiltonicity is just another task ---------------------------- #
+    ring = solve("((0 + 1) * (2 + 3))", task="hamiltonian_cycle")  # C4
+    assert ring.ok
+    print(f"hamiltonian_cycle witness on the 4-cycle: {ring.answer}")
+
+    # -- 7. batches of instances ------------------------------------------ #
+    batch = solve_many([random_cotree(40, seed=s) for s in range(6)],
+                       backend="fast")
+    print(f"solve_many: covers of sizes "
           f"{[r.num_paths for r in batch]} for 6 random instances")
+
+    # -- 8. every solution serialises ------------------------------------- #
+    payload = result.to_json_dict()
+    assert payload["task"] == "path_cover"
+    print(f"solution JSON keys: {sorted(payload)}")
 
 
 if __name__ == "__main__":

@@ -21,11 +21,9 @@ Run with:  python examples/ring_protocol_assignment.py
 from repro import (
     CographAdjacencyOracle,
     clique,
-    has_hamiltonian_cycle,
-    hamiltonian_cycle,
     independent_set,
     join_cotrees,
-    minimum_path_cover_parallel,
+    solve,
     union_cotrees,
 )
 from repro.cograph import relabel_disjoint
@@ -54,7 +52,7 @@ def main() -> None:
     print(f"compatibility cograph over {n} stations, "
           f"{tree.edge_count()} compatible pairs")
 
-    result = minimum_path_cover_parallel(tree, validate=True)
+    result = solve(tree, validate=True)
     print(f"\nminimum number of token chains: {result.num_paths}")
     print(render_cover(result.cover, names=[f"st{i}" for i in range(n)]))
 
@@ -68,8 +66,9 @@ def main() -> None:
         join_cotrees(independent_set(3), independent_set(2), relabel=True),
         join_cotrees(independent_set(4), clique(1), relabel=True),
         relabel=True)
-    if has_hamiltonian_cycle(bridged):
-        cycle = hamiltonian_cycle(bridged)
+    ring = solve(bridged, task="hamiltonian_cycle")
+    if ring.ok:
+        cycle = ring.answer
         print(f"\nsites A+B can run a single closed token ring of "
               f"{len(cycle)} stations:")
         print(" -> ".join(f"st{v}" for v in cycle) + f" -> st{cycle[0]}")

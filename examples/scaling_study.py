@@ -9,11 +9,10 @@ Run with:  python examples/scaling_study.py  [max_exponent]
 
 import sys
 
-from repro import random_cotree, sequential_path_cover
+from repro import random_cotree, solve
 from repro.analysis import best_model, compute_metrics, format_table, log2ceil
-from repro.baselines import naive_parallel_path_cover
+from repro.baselines import naive_parallel_path_cover, sequential_path_cover
 from repro.cograph import caterpillar_cotree
-from repro.core import minimum_path_cover_parallel
 from repro.pram import optimal_processor_count
 
 
@@ -22,7 +21,7 @@ def main(max_exp: int = 12) -> None:
     for k in range(6, max_exp + 1):
         n = 2 ** k
         tree = random_cotree(n, seed=n, join_prob=0.5)
-        result = minimum_path_cover_parallel(tree)
+        result = solve(tree)
         _, stats = sequential_path_cover(tree, return_stats=True)
         metrics = compute_metrics(n, result.report.time, result.report.work,
                                   optimal_processor_count(n),
@@ -45,7 +44,7 @@ def main(max_exp: int = 12) -> None:
     for k in range(6, min(max_exp, 11) + 1):
         n = 2 ** k
         tree = caterpillar_cotree(n)
-        optimal = minimum_path_cover_parallel(tree)
+        optimal = solve(tree)
         _, naive = naive_parallel_path_cover(tree)
         rows2.append({
             "n": n,

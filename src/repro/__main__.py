@@ -1,0 +1,109 @@
+"""Command-line front end over :func:`repro.api.solve`.
+
+::
+
+    python -m repro solve "(0 + (1 * 2))"
+    python -m repro solve instance.json --task hamiltonian_cycle --json
+    python -m repro solve "(0 * (1 * 2))" --backend fast --validate
+    python -m repro tasks
+
+The INPUT argument accepts everything :func:`repro.api.as_problem` does from
+a string: compact cotree text (``(0 + (1 * 2))``) or a path to a JSON file
+written by :func:`repro.io.save_json`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .api import METHOD_NAMES, SolveOptions, solve, task_names
+from .api.registry import TASKS
+from .backends import BACKEND_NAMES
+from .io import render_cover
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Minimum path cover on cographs (Nakano-Olariu-Zomaya) "
+                    "— one front door over every task.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("solve", help="solve one instance")
+    run.add_argument("input",
+                     help="cotree text like '(0 + (1 * 2))' or a JSON file "
+                          "path (cotree or graph); for --task lower_bound, "
+                          "a 0/1 bit string like '101' or '1,0,1'")
+    run.add_argument("--task", default="path_cover", choices=task_names(),
+                     help="what to compute (default: path_cover)")
+    run.add_argument("--method", default="parallel", choices=METHOD_NAMES,
+                     help="algorithm family (default: parallel)")
+    run.add_argument("--backend", default=None,
+                     choices=tuple(BACKEND_NAMES),
+                     help="execution backend for the parallel method")
+    run.add_argument("--num-processors", type=int, default=None,
+                     help="PRAM processor count (backend=pram only)")
+    run.add_argument("--validate", action="store_true",
+                     help="check the cover against the adjacency oracle")
+    run.add_argument("--json", action="store_true",
+                     help="print the full Solution as JSON")
+
+    sub.add_parser("tasks", help="list the registered tasks")
+    return parser
+
+
+def _cmd_tasks() -> int:
+    for name in task_names():
+        print(f"{name:<18s} {TASKS[name].summary}")
+    return 0
+
+
+def _parse_bits(text: str):
+    """``"101"`` / ``"1,0,1"`` / ``"1 0 1"`` -> a bit-vector problem."""
+    digits = text.replace(",", "").replace(" ", "")
+    if not digits or set(digits) - {"0", "1"}:
+        raise ValueError(
+            f"the lower_bound task takes a 0/1 bit string "
+            f"(e.g. '101' or '1,0,1'), got {text!r}")
+    return [int(c) for c in digits]
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    options = SolveOptions(method=args.method, backend=args.backend,
+                           num_processors=args.num_processors,
+                           validate=args.validate)
+    problem = (_parse_bits(args.input) if args.task == "lower_bound"
+               else args.input)
+    solution = solve(problem, args.task, options=options)
+    if args.json:
+        json.dump(solution.to_json_dict(), sys.stdout, indent=2)
+        print()
+        return 0
+    print(solution.summary())
+    if solution.cover is not None:
+        print(render_cover(solution.cover))
+    elif isinstance(solution.answer, list):
+        print(" - ".join(map(str, solution.answer)))
+    elif isinstance(solution.answer, dict):
+        for key, value in solution.answer.items():
+            print(f"  {key}: {value}")
+    if solution.report is not None:
+        print(solution.report)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "tasks":
+        return _cmd_tasks()
+    try:
+        return _cmd_solve(args)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""``repro.api`` — the package's one front door.
+
+Everything the library can do is reachable through four names:
+
+* :func:`solve` / :func:`solve_many` — run any registered task on any
+  supported input form;
+* :class:`SolveOptions` — the one validated configuration value (no more
+  stringly-typed knob soup; incompatible combinations raise);
+* :class:`Solution` — the one result type (answer + cover + cost report +
+  stage timings + backend + provenance, JSON round-trippable).
+
+Supporting cast: :func:`as_problem` / :class:`Problem` (the input-adapter
+layer) and :func:`register_task` / :func:`task_names` (the task registry,
+open to out-of-tree tasks).
+
+>>> from repro.api import solve, SolveOptions
+>>> solve("(0 + (1 * 2))").num_paths
+2
+>>> solve({0: [1], 1: [0, 2], 2: [1]}, task="recognition").answer
+True
+>>> solve([1, 0, 1], task="lower_bound").answer["or"]
+1
+>>> solve("(0 * 1)", options=SolveOptions(backend="fast")).backend
+'fast'
+"""
+
+from .adapters import SOURCE_FORMATS, Problem, as_problem
+from .options import METHOD_NAMES, SolveOptions
+from .registry import TaskSpec, get_task, register_task, task_names
+from .solution import Solution
+from .solve import solve, solve_many
+
+from . import tasks as _tasks  # noqa: F401  (registers the built-in tasks)
+
+__all__ = [
+    "solve", "solve_many",
+    "SolveOptions", "Solution",
+    "Problem", "as_problem", "SOURCE_FORMATS", "METHOD_NAMES",
+    "register_task", "task_names", "get_task", "TaskSpec",
+]

@@ -1,0 +1,273 @@
+"""Input adapters: accept every reasonable instance description.
+
+:func:`as_problem` is the funnel in front of :func:`repro.api.solve`.  It
+turns any of
+
+* a :class:`~repro.cograph.Cotree` / :class:`~repro.cograph.BinaryCotree`,
+* a :class:`~repro.cograph.Graph`,
+* an edge list (``[(0, 1), (1, 2)]`` or an ``(m, 2)`` array),
+* an adjacency dict (``{0: [1], 1: [0, 2], 2: [1]}``),
+* the compact cotree text form (``"(0 + (1 * 2))"``),
+* a path to a JSON file produced by :func:`repro.io.save_json`,
+* a 0/1 bit vector (``[1, 0, 1]`` — the Fig. 2 lower-bound reduction;
+  accepted only for ``task="lower_bound"``, so a flat integer list can
+  never be silently mistaken for a graph), or
+* an existing :class:`Problem`
+
+into one :class:`Problem` value.  Graph-like inputs are routed through
+:func:`~repro.cograph.cotree_from_graph` *lazily*, so a non-cograph raises
+:class:`~repro.cograph.NotACographError` only when a task actually needs the
+cotree — which is what lets the ``recognition`` task answer ``False``
+instead of blowing up.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from ..cograph import BinaryCotree, Cotree, Graph, cotree_from_graph
+from ..core import LowerBoundInstance, or_instance_cotree
+from ..io import cotree_from_text, load_json
+
+__all__ = ["Problem", "as_problem", "SOURCE_FORMATS"]
+
+#: every ``Problem.source_format`` value an adapter can produce.
+SOURCE_FORMATS = ("problem", "cotree", "binary_cotree", "graph", "edge_list",
+                  "adjacency", "text", "json", "bits")
+
+TreeLike = Union[Cotree, BinaryCotree]
+
+
+@dataclass
+class Problem:
+    """One adapted instance, ready for any registered task.
+
+    Exactly one of ``tree`` / ``graph`` / ``instance`` is set at
+    construction; :meth:`cotree` converts (and caches) on demand.
+
+    Attributes
+    ----------
+    source_format:
+        which adapter produced this problem (see :data:`SOURCE_FORMATS`).
+    tree:
+        the cotree, when the input already was one (or parsed text/JSON).
+    graph:
+        the explicit graph, when the input was graph-like.  Kept so the
+        ``recognition`` task can answer without assuming cograph-ness.
+    instance:
+        the Fig. 2 :class:`~repro.core.LowerBoundInstance`, when the input
+        was a bit vector.
+    source:
+        free-form origin note (e.g. the JSON file path).
+    """
+
+    source_format: str
+    tree: Optional[TreeLike] = None
+    graph: Optional[Graph] = None
+    instance: Optional[LowerBoundInstance] = None
+    source: Optional[str] = None
+    _cached_tree: Optional[TreeLike] = field(default=None, repr=False)
+
+    def cotree(self) -> TreeLike:
+        """The instance's cotree, converting from a graph if necessary.
+
+        Raises
+        ------
+        NotACographError
+            when the underlying graph is not a cograph.
+        """
+        if self._cached_tree is None:
+            if self.tree is not None:
+                self._cached_tree = self.tree
+            elif self.instance is not None:
+                self._cached_tree = self.instance.cotree
+            elif self.graph is not None:
+                self._cached_tree = cotree_from_graph(self.graph)
+            else:  # pragma: no cover - constructors always set one
+                raise ValueError("empty Problem")
+        return self._cached_tree
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the instance."""
+        if self.tree is not None:
+            return self.tree.num_vertices
+        if self.instance is not None:
+            return self.instance.cotree.num_vertices
+        return self.graph.n
+
+    def provenance(self) -> Dict[str, Any]:
+        """The provenance fields every Solution records about its input."""
+        out = {"source_format": self.source_format,
+               "num_vertices": self.num_vertices}
+        if self.source is not None:
+            out["source"] = self.source
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# the funnel
+# --------------------------------------------------------------------------- #
+
+def as_problem(obj: Any, *, task: Optional[str] = None) -> Problem:
+    """Adapt any supported instance description into a :class:`Problem`.
+
+    See the module docstring for the accepted forms.  ``task`` (forwarded
+    by :func:`~repro.api.solve`) only matters for flat integer sequences:
+    they are read as lower-bound bit vectors for ``task="lower_bound"``
+    and rejected otherwise, so a graph task can never silently solve the
+    reduction gadget instead.  Raises :class:`ValueError` (or
+    :class:`TypeError` for hopeless inputs) with a message that names
+    every accepted form.
+    """
+    if isinstance(obj, Problem):
+        return obj
+    if isinstance(obj, BinaryCotree):
+        return Problem(source_format="binary_cotree", tree=obj)
+    if isinstance(obj, Cotree):
+        return Problem(source_format="cotree", tree=obj)
+    if isinstance(obj, Graph):
+        return Problem(source_format="graph", graph=obj)
+    if isinstance(obj, LowerBoundInstance):
+        return Problem(source_format="bits", instance=obj)
+    if isinstance(obj, os.PathLike):
+        return _from_json_path(os.fspath(obj))
+    if isinstance(obj, str):
+        return _from_string(obj)
+    if isinstance(obj, dict):
+        return _from_dict(obj)
+    if isinstance(obj, np.ndarray):
+        return _from_array(obj, task)
+    if isinstance(obj, (list, tuple)):
+        return _from_sequence(obj, task)
+    raise TypeError(
+        f"cannot interpret {type(obj).__name__!r} as a problem; accepted: "
+        f"Cotree, BinaryCotree, Graph, edge list, adjacency dict, cotree "
+        f"text like '(0 + (1 * 2))', a JSON file path, a 0/1 bit vector, "
+        f"LowerBoundInstance, or Problem")
+
+
+# --------------------------------------------------------------------------- #
+# per-form adapters
+# --------------------------------------------------------------------------- #
+
+def _from_string(text: str) -> Problem:
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty string is not a problem; pass cotree text "
+                         "like '(0 + (1 * 2))' or a JSON file path")
+    if stripped.startswith("(") or stripped.isdigit():
+        return Problem(source_format="text",
+                       tree=cotree_from_text(stripped))
+    if os.path.exists(stripped):
+        return _from_json_path(stripped)
+    raise ValueError(
+        f"string {text!r} is neither cotree text (must start with '(' or "
+        f"be a single vertex id) nor an existing JSON file path")
+
+
+def _from_json_path(path: str) -> Problem:
+    loaded = load_json(path)
+    if isinstance(loaded, Cotree):
+        return Problem(source_format="json", tree=loaded, source=path)
+    if isinstance(loaded, Graph):
+        return Problem(source_format="json", graph=loaded, source=path)
+    if isinstance(loaded, dict):
+        inner = _from_dict(loaded)
+        inner.source_format = "json"
+        inner.source = path
+        return inner
+    raise ValueError(
+        f"JSON file {path!r} holds a {type(loaded).__name__}, which is a "
+        f"result, not a problem; expected a serialised cotree or graph")
+
+
+def _from_dict(data: dict) -> Problem:
+    if "type" in data:
+        # a serialised object from repro.io
+        from ..io import cotree_from_json, graph_from_json
+        kind = data["type"]
+        if kind == "cotree":
+            return Problem(source_format="json", tree=cotree_from_json(data))
+        if kind == "graph":
+            return Problem(source_format="json", graph=graph_from_json(data))
+        raise ValueError(f"serialised {kind!r} is not a problem; expected "
+                         f"'cotree' or 'graph'")
+    # an adjacency mapping {vertex: neighbours}; JSON string keys and
+    # one-sided listings accepted
+    try:
+        adj = {int(k): [int(v) for v in _iter(vs)] for k, vs in data.items()}
+    except (TypeError, ValueError):
+        raise ValueError(
+            "dict input must be a serialised cotree/graph (with a 'type' "
+            "key) or an adjacency mapping {vertex: [neighbours]}") from None
+    return Problem(source_format="adjacency", graph=Graph.from_adjacency(adj))
+
+
+def _from_array(arr: np.ndarray, task: Optional[str]) -> Problem:
+    if arr.ndim == 2 and arr.shape[1] == 2:
+        return _edge_list([(int(u), int(v)) for u, v in arr])
+    if arr.ndim == 1:
+        return _bits(arr.tolist(), task)
+    raise ValueError(f"array of shape {arr.shape} is not a problem; "
+                     f"expected an (m, 2) edge list or a 1-d bit vector")
+
+
+def _from_sequence(seq, task: Optional[str]) -> Problem:
+    items = list(seq)
+    if not items:
+        raise ValueError(
+            "an empty sequence is ambiguous (empty edge list has no vertex "
+            "count, empty bit vector has no bits); pass a Graph, an "
+            "adjacency dict, or a cotree instead")
+    if all(_is_int(x) for x in items):
+        return _bits(items, task)
+    if all(_is_pair(x) for x in items):
+        return _edge_list([(int(u), int(v)) for u, v in items])
+    raise ValueError(
+        "sequence input must be either an edge list (pairs, e.g. "
+        "[(0, 1), (1, 2)]) or, for task='lower_bound', a flat 0/1 bit "
+        "vector (e.g. [1, 0, 1])")
+
+
+def _edge_list(edges) -> Problem:
+    n = max(max(u, v) for u, v in edges) + 1
+    return Problem(source_format="edge_list", graph=Graph(n, edges))
+
+
+def _bits(values, task: Optional[str]) -> Problem:
+    if task != "lower_bound":
+        raise ValueError(
+            "a flat integer sequence is only accepted as a 0/1 bit vector "
+            "for task='lower_bound' (the Fig. 2 reduction); for a graph "
+            "pass an edge list of pairs like [(0, 1), (1, 2)], an "
+            "adjacency dict, or a Graph")
+    if not all(int(v) in (0, 1) for v in values):
+        raise ValueError(
+            "lower-bound bit vectors must contain only 0/1 values")
+    return Problem(source_format="bits",
+                   instance=or_instance_cotree([int(v) for v in values]))
+
+
+# --------------------------------------------------------------------------- #
+# small predicates
+# --------------------------------------------------------------------------- #
+
+def _is_int(x: Any) -> bool:
+    return isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+
+
+def _is_pair(x: Any) -> bool:
+    if isinstance(x, (list, tuple, np.ndarray)):
+        return len(x) == 2 and all(_is_int(v) for v in x)
+    return False
+
+
+def _iter(x: Any) -> Iterable:
+    if isinstance(x, (list, tuple, set, frozenset, np.ndarray)):
+        return x
+    raise TypeError(f"adjacency values must be sequences, got {type(x)}")

@@ -1,0 +1,92 @@
+"""The task registry behind :func:`repro.api.solve`.
+
+Every question the library can answer about an instance — full path cover,
+cover size, Hamiltonian path / cycle, cograph recognition, the lower-bound
+OR reduction — is a *task*: a named callable registered with
+:func:`register_task` that maps ``(problem, options)`` to a
+:class:`~repro.api.solution.Solution`.  ``solve()`` is nothing but a lookup
+in this registry plus input adaptation, so new tasks (and out-of-tree tasks:
+the decorator is public) get the whole front door — adapters, batch fan-out,
+CLI, JSON serialisation — for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = ["TaskSpec", "register_task", "get_task", "task_names", "TASKS"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One registered task.
+
+    Attributes
+    ----------
+    name:
+        registry key, e.g. ``"path_cover"``.
+    fn:
+        implementation, ``fn(problem, options) -> Solution``.
+    runs_pipeline:
+        whether the task executes the solver pipeline.  Tasks that never do
+        (e.g. ``recognition``) reject backend/PRAM options instead of
+        silently ignoring them.
+    summary:
+        one-line description (shown by ``python -m repro tasks``).
+    """
+
+    name: str
+    fn: Callable
+    runs_pipeline: bool
+    summary: str
+
+
+#: the global registry; mutate only through :func:`register_task`.
+TASKS: Dict[str, TaskSpec] = {}
+
+
+def register_task(name: str, *, runs_pipeline: bool = True,
+                  summary: str = "") -> Callable:
+    """Register a task implementation under ``name`` (decorator).
+
+    ::
+
+        @register_task("path_cover", summary="minimum path cover")
+        def _path_cover(problem, options):
+            ...
+            return Solution(...)
+
+    Raises
+    ------
+    ValueError
+        if ``name`` is already registered.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"task name must be a non-empty string, got {name!r}")
+
+    def decorator(fn: Callable) -> Callable:
+        if name in TASKS:
+            raise ValueError(f"task {name!r} is already registered "
+                             f"({TASKS[name].fn!r})")
+        TASKS[name] = TaskSpec(name=name, fn=fn,
+                               runs_pipeline=runs_pipeline,
+                               summary=summary or (fn.__doc__ or "").strip()
+                               .split("\n")[0])
+        return fn
+
+    return decorator
+
+
+def get_task(name: str) -> TaskSpec:
+    """Look a task up by name, with a helpful error."""
+    try:
+        return TASKS[name]
+    except KeyError:
+        raise ValueError(f"unknown task {name!r}; registered tasks: "
+                         f"{', '.join(task_names())}") from None
+
+
+def task_names() -> Tuple[str, ...]:
+    """The registered task names, sorted."""
+    return tuple(sorted(TASKS))

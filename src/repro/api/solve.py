@@ -1,0 +1,114 @@
+"""``solve()`` and ``solve_many()`` — the package's one front door.
+
+Every question the library answers goes through here: the input is adapted
+by :func:`~repro.api.adapters.as_problem`, the configuration is one
+validated :class:`~repro.api.SolveOptions`, the task is looked up in the
+registry, and the result is always a :class:`~repro.api.Solution`.
+
+>>> from repro.api import solve
+>>> solve("(0 * (1 + 2))").num_paths
+1
+>>> solve([(0, 1), (1, 2), (0, 2)], task="hamiltonian_cycle").ok
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from ..core.batch import fan_out
+from .adapters import as_problem
+from .options import SolveOptions
+from .registry import get_task
+from .solution import Solution
+
+__all__ = ["solve", "solve_many"]
+
+
+def _resolve_options(options: Optional[SolveOptions],
+                     option_fields: dict) -> SolveOptions:
+    if options is not None:
+        if option_fields:
+            raise ValueError(
+                f"pass either options=SolveOptions(...) or option keyword "
+                f"arguments ({sorted(option_fields)}), not both")
+        if not isinstance(options, SolveOptions):
+            raise TypeError(f"options must be a SolveOptions, "
+                            f"got {type(options).__name__}")
+        return options
+    return SolveOptions(**option_fields)
+
+
+def _reject_pipeline_options(task: str, options: SolveOptions) -> None:
+    """Tasks that never run the solver pipeline reject non-default options
+    instead of silently ignoring them."""
+    defaults = SolveOptions().to_dict()
+    offending = [f"{name}={value!r}"
+                 for name, value in options.to_dict().items()
+                 if value != defaults[name]]
+    if offending:
+        raise ValueError(
+            f"task {task!r} does not run the solver pipeline; option(s) "
+            f"{', '.join(offending)} would have no effect — drop them")
+
+
+def solve(problem: Any, task: str = "path_cover", *,
+          options: Optional[SolveOptions] = None,
+          **option_fields: Any) -> Solution:
+    """Solve one instance.
+
+    Parameters
+    ----------
+    problem:
+        anything :func:`~repro.api.as_problem` accepts: a cotree, a graph,
+        an edge list, an adjacency dict, cotree text, a JSON file path, or
+        a 0/1 bit vector (for ``task="lower_bound"``).
+    task:
+        a registered task name — see :func:`~repro.api.task_names`.
+    options:
+        a :class:`~repro.api.SolveOptions`; alternatively pass its fields
+        directly as keyword arguments (``solve(tree, backend="fast")``).
+
+    Returns
+    -------
+    Solution
+    """
+    opts = _resolve_options(options, option_fields)
+    spec = get_task(task)
+    prob = as_problem(problem, task=task)
+    if not spec.runs_pipeline:
+        _reject_pipeline_options(task, opts)
+    solution = spec.fn(prob, opts)
+    for key, value in prob.provenance().items():
+        solution.provenance.setdefault(key, value)
+    return solution
+
+
+def _solve_one_payload(payload) -> Solution:
+    """Worker body (module level so it pickles under multiprocessing)."""
+    index, problem, task, options = payload
+    solution = solve(problem, task, options=options).without_machine()
+    solution.provenance["batch_index"] = index
+    return solution
+
+
+def solve_many(problems: Iterable[Any], task: str = "path_cover", *,
+               options: Optional[SolveOptions] = None,
+               jobs: Optional[int] = None,
+               chunksize: Optional[int] = None,
+               **option_fields: Any) -> List[Solution]:
+    """Solve a batch of instances, optionally across worker processes.
+
+    The batch rides the same fan-out engine as
+    :func:`repro.core.solve_batch` (``jobs=None``/``1`` in-process, ``0``
+    one worker per CPU) and returns one :class:`~repro.api.Solution` per
+    input, in input order, each stamped with ``provenance["batch_index"]``.
+    Live PRAM machines never cross process boundaries; batch solutions
+    always have ``machine=None``.
+    """
+    opts = _resolve_options(options, option_fields)
+    get_task(task)  # fail fast on unknown tasks, before adapting inputs
+    payloads = [(i, as_problem(p, task=task), task, opts)
+                for i, p in enumerate(problems)]
+    return fan_out(_solve_one_payload, payloads, jobs=jobs,
+                   chunksize=chunksize)

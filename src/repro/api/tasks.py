@@ -1,0 +1,195 @@
+"""The built-in tasks of the :func:`repro.api.solve` front door.
+
+Six tasks ship with the library; each is a plain function registered with
+:func:`~repro.api.registry.register_task`, so they double as examples for
+out-of-tree tasks:
+
+============================  =============================================
+``path_cover``                the minimum path cover itself (the paper's
+                              main theorem)
+``path_cover_size``           just ``p(root)`` — analytic by default, via
+                              the pipeline when a backend is forced
+``hamiltonian_path``          a Hamiltonian path witness, or ``None``
+``hamiltonian_cycle``         a Hamiltonian cycle witness, or ``None``
+``recognition``               is the input graph a cograph at all?
+``lower_bound``               the Fig. 2 OR reduction, solved end-to-end
+============================  =============================================
+"""
+
+from __future__ import annotations
+
+from ..baselines import sequential_path_cover
+from ..cograph import (
+    BinaryCotree,
+    CographAdjacencyOracle,
+    NotACographError,
+    binarize_cotree,
+    make_leftist,
+    minimum_path_cover_size,
+    path_cover_sizes_per_node,
+)
+from ..core import (
+    expected_path_count,
+    hamiltonian_cycle,
+    hamiltonian_path,
+    minimum_path_cover_parallel,
+    or_from_cover,
+    or_from_path_count,
+)
+from .adapters import Problem
+from .options import SolveOptions
+from .registry import register_task
+from .solution import Solution
+
+__all__ = []  # tasks are reached through the registry, not by name
+
+
+def _cover_solver(options: SolveOptions):
+    """``tree -> PathCover`` bound to the options' engine choice."""
+    if options.method == "sequential":
+        return sequential_path_cover
+    kwargs = options.solver_kwargs()
+    return lambda tree: minimum_path_cover_parallel(tree, **kwargs).cover
+
+
+def _solve_cover(problem: Problem, options: SolveOptions,
+                 task: str) -> Solution:
+    """Run the configured cover engine and wrap the outcome."""
+    tree = problem.cotree()
+    if options.method == "sequential":
+        cover = sequential_path_cover(tree)
+        if options.validate:
+            cover.validate(CographAdjacencyOracle(tree),
+                           expected_num_vertices=tree.num_vertices,
+                           expected_num_paths=int(
+                               minimum_path_cover_size(tree)))
+        return Solution(task=task, answer=cover, backend="sequential",
+                        options=options, cover=cover,
+                        num_paths=cover.num_paths)
+    result = minimum_path_cover_parallel(tree, **options.solver_kwargs())
+    return Solution(task=task, answer=result.cover, backend=result.backend,
+                    options=options, cover=result.cover,
+                    num_paths=result.num_paths, report=result.report,
+                    stage_seconds=result.stage_seconds,
+                    machine=result.machine,
+                    provenance={"p_root": result.p_root,
+                                "exchanges": result.exchanges})
+
+
+# --------------------------------------------------------------------------- #
+# path cover
+# --------------------------------------------------------------------------- #
+
+@register_task("path_cover",
+               summary="minimum path cover of the cograph (Theorem 5.3)")
+def _task_path_cover(problem: Problem, options: SolveOptions) -> Solution:
+    return _solve_cover(problem, options, "path_cover")
+
+
+@register_task("path_cover_size",
+               summary="p(root) only — analytic recurrence with default "
+                       "options, the configured engine otherwise")
+def _task_path_cover_size(problem: Problem,
+                          options: SolveOptions) -> Solution:
+    if options == SolveOptions():
+        # all-default options: the cheap Lemma 2.4 recurrence, no pipeline.
+        # Any non-default option (a backend, PRAM knobs, validate, a
+        # method) runs the configured engine instead, so nothing the
+        # caller asked for is silently dropped.
+        size = int(minimum_path_cover_size(problem.cotree()))
+        return Solution(task="path_cover_size", answer=size,
+                        backend="analytic", options=options, num_paths=size)
+    solution = _solve_cover(problem, options, "path_cover_size")
+    solution.answer = solution.num_paths
+    return solution
+
+
+# --------------------------------------------------------------------------- #
+# Hamiltonicity
+# --------------------------------------------------------------------------- #
+
+def _leftist_binary_and_size(problem: Problem):
+    """One leftist binarization + one analytic pass, shared by both
+    Hamiltonicity tasks (the witness constructions reuse the binary)."""
+    tree = problem.cotree()
+    binary = tree if isinstance(tree, BinaryCotree) else binarize_cotree(tree)
+    binary = make_leftist(binary)
+    size = int(path_cover_sizes_per_node(binary)[binary.root])
+    return binary, size
+
+
+@register_task("hamiltonian_path",
+               summary="a Hamiltonian path witness, or None")
+def _task_hamiltonian_path(problem: Problem,
+                           options: SolveOptions) -> Solution:
+    binary, size = _leftist_binary_and_size(problem)
+    witness = hamiltonian_path(binary, cover_solver=_cover_solver(options)) \
+        if size == 1 else None
+    return Solution(task="hamiltonian_path", answer=witness,
+                    backend=options.resolved_backend, options=options,
+                    num_paths=size,
+                    provenance={"min_path_cover": size})
+
+
+@register_task("hamiltonian_cycle",
+               summary="a Hamiltonian cycle witness, or None")
+def _task_hamiltonian_cycle(problem: Problem,
+                            options: SolveOptions) -> Solution:
+    binary, size = _leftist_binary_and_size(problem)
+    witness = hamiltonian_cycle(binary, cover_solver=_cover_solver(options))
+    return Solution(task="hamiltonian_cycle", answer=witness,
+                    backend=options.resolved_backend, options=options,
+                    num_paths=size,
+                    provenance={"min_path_cover": size})
+
+
+# --------------------------------------------------------------------------- #
+# recognition
+# --------------------------------------------------------------------------- #
+
+@register_task("recognition", runs_pipeline=False,
+               summary="is the input a cograph? (False carries the "
+                       "induced-P4 certificate)")
+def _task_recognition(problem: Problem, options: SolveOptions) -> Solution:
+    provenance = {}
+    if problem.graph is None:
+        # the input already was a cotree, which *is* a cograph certificate
+        answer = True
+        provenance["input_was_cotree"] = True
+    else:
+        try:
+            problem.cotree()  # converts and caches for later tasks
+            answer = True
+        except NotACographError as exc:
+            answer = False
+            if exc.certificate is not None:
+                provenance["certificate"] = [int(v) for v in exc.certificate]
+    return Solution(task="recognition", answer=answer, backend="sequential",
+                    options=options, provenance=provenance)
+
+
+# --------------------------------------------------------------------------- #
+# the lower-bound reduction
+# --------------------------------------------------------------------------- #
+
+@register_task("lower_bound",
+               summary="solve the Fig. 2 OR-reduction instance and decode "
+                       "OR from the cover (Theorem 2.2)")
+def _task_lower_bound(problem: Problem, options: SolveOptions) -> Solution:
+    if problem.instance is None:
+        raise ValueError(
+            "the 'lower_bound' task runs the Fig. 2 OR reduction, so its "
+            "input must be a 0/1 bit vector (e.g. solve([1, 0, 1], "
+            "task='lower_bound')), not a general cograph")
+    instance = problem.instance
+    solution = _solve_cover(problem, options, "lower_bound")
+    bits = [int(b) for b in instance.bits]
+    or_value = or_from_cover(solution.cover, instance)
+    assert or_value == or_from_path_count(solution.num_paths, instance.n)
+    solution.answer = {
+        "or": or_value,
+        "bits": bits,
+        "num_paths": solution.num_paths,
+        "expected_num_paths": expected_path_count(bits),
+    }
+    return solution

@@ -35,8 +35,16 @@ class Graph:
 
     @classmethod
     def from_adjacency(cls, adj: Dict[int, Iterable[int]]) -> "Graph":
-        """Build from a ``{vertex: neighbours}`` mapping (vertices 0..n-1)."""
-        n = (max(adj) + 1) if adj else 0
+        """Build from a ``{vertex: neighbours}`` mapping (vertices 0..n-1).
+
+        One-sided listings are accepted: a vertex may appear only as a
+        neighbour (``{0: [1, 2]}`` is the 3-vertex star/path ``1-0-2``).
+        """
+        adj = {u: list(nbrs) for u, nbrs in adj.items()}
+        vertices = set(adj)
+        for nbrs in adj.values():
+            vertices.update(nbrs)
+        n = (max(vertices) + 1) if vertices else 0
         g = cls(n)
         for u, nbrs in adj.items():
             for v in nbrs:

@@ -23,9 +23,30 @@ from ..backends import BACKEND_NAMES
 from ..cograph import BinaryCotree, Cotree, PathCover
 from .solver import minimum_path_cover_parallel
 
-__all__ = ["BatchResult", "solve_batch"]
+__all__ = ["BatchResult", "solve_batch", "fan_out"]
 
 TreeLike = Union[Cotree, BinaryCotree]
+
+
+def fan_out(worker, payloads: List, *, jobs: Optional[int] = None,
+            chunksize: Optional[int] = None) -> List:
+    """Map ``worker`` over ``payloads``, optionally across processes.
+
+    The shared fan-out engine behind :func:`solve_batch` and
+    :func:`repro.api.solve_many`.  ``worker`` must be a module-level
+    callable and every payload picklable.  ``jobs=None``/``1`` runs
+    in-process, ``0`` means one worker per CPU; results come back in
+    payload order.
+    """
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs is None or jobs <= 1 or len(payloads) <= 1:
+        return [worker(p) for p in payloads]
+    jobs = min(jobs, len(payloads))
+    if chunksize is None:
+        chunksize = max(1, len(payloads) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(worker, payloads, chunksize=chunksize))
 
 
 @dataclass
@@ -102,17 +123,6 @@ def solve_batch(trees: Iterable[TreeLike], *, backend: str = "fast",
         raise ValueError(f"backend must be one of {BACKEND_NAMES} (a name, "
                          f"so it can cross process boundaries); "
                          f"got {backend!r}")
-    tree_list = list(trees)
     payloads = [(i, tree, backend, work_efficient, validate)
-                for i, tree in enumerate(tree_list)]
-
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
-    if jobs is None or jobs <= 1 or len(tree_list) <= 1:
-        return [_solve_one(p) for p in payloads]
-
-    jobs = min(jobs, len(tree_list))
-    if chunksize is None:
-        chunksize = max(1, len(tree_list) // (jobs * 4))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_solve_one, payloads, chunksize=chunksize))
+                for i, tree in enumerate(trees)]
+    return fan_out(_solve_one, payloads, jobs=jobs, chunksize=chunksize)

@@ -86,21 +86,38 @@ def has_hamiltonian_cycle(tree: Union[Cotree, BinaryCotree]) -> bool:
     return bool(p[binary.left[root]] <= L[binary.right[root]])
 
 
+def _default_cover_solver(machine: Optional[PRAM], backend):
+    """The cover solver the witness constructions run on: the parallel
+    pipeline, bound to the caller's machine/backend choice."""
+    def solver(tree):
+        return minimum_path_cover_parallel(tree, machine=machine,
+                                           backend=backend).cover
+    return solver
+
+
 def hamiltonian_path(tree: Union[Cotree, BinaryCotree], *,
-                     machine: Optional[PRAM] = None) -> Optional[List[int]]:
+                     machine: Optional[PRAM] = None,
+                     backend=None,
+                     cover_solver=None) -> Optional[List[int]]:
     """Return a Hamiltonian path (as a vertex list) or ``None``.
 
-    Uses the parallel solver, so the witness construction inherits the
-    optimal bounds of Theorem 5.3.
+    By default uses the parallel solver, so the witness construction
+    inherits the optimal bounds of Theorem 5.3; pass ``backend="fast"`` for
+    the vectorized path, or ``cover_solver`` (any ``tree -> PathCover``
+    callable, e.g. the sequential baseline) to swap the engine entirely.
     """
-    result = minimum_path_cover_parallel(tree, machine=machine)
-    if result.num_paths != 1:
+    if cover_solver is None:
+        cover_solver = _default_cover_solver(machine, backend)
+    cover = cover_solver(tree)
+    if cover.num_paths != 1:
         return None
-    return list(result.cover.paths[0])
+    return list(cover.paths[0])
 
 
 def hamiltonian_cycle(tree: Union[Cotree, BinaryCotree], *,
-                      machine: Optional[PRAM] = None) -> Optional[List[int]]:
+                      machine: Optional[PRAM] = None,
+                      backend=None,
+                      cover_solver=None) -> Optional[List[int]]:
     """Return a Hamiltonian cycle (as a vertex list whose last vertex is
     adjacent to its first) or ``None``.
 
@@ -119,10 +136,12 @@ def hamiltonian_cycle(tree: Union[Cotree, BinaryCotree], *,
     a_root = int(binary.left[root])
     b_leaves = _leaf_vertices(binary, int(binary.right[root]))
 
-    # minimum path cover of A = G(v), via the parallel solver on the subtree
+    # minimum path cover of A = G(v), via the configured solver on the subtree
+    if cover_solver is None:
+        cover_solver = _default_cover_solver(machine, backend)
     sub, back = _subtree_binary(binary, a_root)
-    sub_result = minimum_path_cover_parallel(sub, machine=machine)
-    a_paths = [[back[v] for v in p] for p in sub_result.cover.paths]
+    sub_cover = cover_solver(sub)
+    a_paths = [[back[v] for v in p] for p in sub_cover.paths]
     k = len(a_paths)
     if k > len(b_leaves):  # pragma: no cover - excluded by has_hamiltonian_cycle
         return None

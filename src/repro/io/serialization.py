@@ -130,14 +130,23 @@ def graph_from_json(data: Dict) -> Graph:
 # files
 # --------------------------------------------------------------------------- #
 
-def save_json(obj: Union[Cotree, PathCover, Graph, Dict], path: str) -> None:
-    """Serialise a cotree / cover / graph (or a prepared dict) to a file."""
+def save_json(obj, path: str) -> None:
+    """Serialise a cotree / cover / graph / :class:`~repro.api.Solution`
+    (or a prepared dict) to a file."""
     if isinstance(obj, Cotree):
         data = cotree_to_json(obj)
     elif isinstance(obj, PathCover):
         data = cover_to_json(obj)
     elif isinstance(obj, Graph):
         data = graph_to_json(obj)
+    elif hasattr(obj, "to_json_dict"):  # Solution (duck-typed: no api import)
+        data = obj.to_json_dict()
+        if not isinstance(data, dict) or "type" not in data:
+            # e.g. a bare CostReport: its payload has no tag for load_json
+            raise TypeError(
+                f"cannot serialise {type(obj).__name__}: its "
+                f"to_json_dict() payload carries no 'type' tag for "
+                f"load_json dispatch")
     else:
         data = obj
     with open(path, "w", encoding="utf8") as fh:
@@ -148,11 +157,15 @@ def load_json(path: str) -> Union[Cotree, PathCover, Graph, Dict]:
     """Load a file produced by :func:`save_json`, dispatching on its type."""
     with open(path, "r", encoding="utf8") as fh:
         data = json.load(fh)
-    kind = data.get("type")
+    kind = data.get("type") if isinstance(data, dict) else None
     if kind == "cotree":
         return cotree_from_json(data)
     if kind == "path_cover":
         return cover_from_json(data)
     if kind == "graph":
         return graph_from_json(data)
+    if kind == "solution":
+        # imported lazily: repro.api sits above repro.io in the layering
+        from ..api.solution import Solution
+        return Solution.from_json_dict(data)
     return data

@@ -100,6 +100,28 @@ class CostReport:
             "total_work": self.total_work,
         }
 
+    def to_json_dict(self) -> dict:
+        """Round-trippable dict form, including the per-label breakdown."""
+        out = self.to_dict()
+        del out["total_time"], out["total_work"]  # derived
+        out["by_label"] = {
+            label: {"rounds": c.rounds, "time": c.time, "work": c.work,
+                    "charged": c.charged}
+            for label, c in self.by_label.items()
+        }
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CostReport":
+        """Inverse of :meth:`to_json_dict`."""
+        by_label = {label: LabelCost(label=label, **costs)
+                    for label, costs in data.get("by_label", {}).items()}
+        return cls(mode=data["mode"],
+                   num_processors=data["num_processors"],
+                   rounds=data["rounds"], time=data["time"],
+                   work=data["work"], charged_time=data["charged_time"],
+                   charged_work=data["charged_work"], by_label=by_label)
+
     def __str__(self) -> str:
         p = "unbounded" if self.num_processors is None else self.num_processors
         lines = [

@@ -1,0 +1,76 @@
+"""The ``python -m repro`` command line, driven in-process."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import task_names
+from repro.cograph import Graph, clique
+from repro.io import save_json
+
+
+def test_tasks_subcommand_lists_everything(capsys):
+    assert main(["tasks"]) == 0
+    out = capsys.readouterr().out
+    for name in task_names():
+        assert name in out
+
+
+def test_solve_text_input(capsys):
+    assert main(["solve", "(0 + (1 * 2))"]) == 0
+    out = capsys.readouterr().out
+    assert "num_paths=2" in out
+    assert "PRAM cost report" in out
+
+
+def test_solve_json_output_parses(capsys):
+    assert main(["solve", "(0 * (1 * 2))", "--task", "hamiltonian_cycle",
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["type"] == "solution"
+    assert data["task"] == "hamiltonian_cycle"
+    assert data["answer"] == [0, 1, 2]
+
+
+def test_solve_json_file_input(tmp_path, capsys):
+    path = tmp_path / "graph.json"
+    save_json(Graph.from_cotree(clique(4)), str(path))
+    assert main(["solve", str(path), "--backend", "fast"]) == 0
+    assert "num_paths=1" in capsys.readouterr().out
+
+
+def test_solve_lower_bound_prints_the_dict(capsys):
+    assert main(["solve", "(0+1)", "--task", "path_cover_size"]) == 0
+    assert "answer" not in capsys.readouterr().err
+
+
+def test_lower_bound_takes_bit_strings(capsys):
+    assert main(["solve", "1,0,1", "--task", "lower_bound", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["answer"]["or"] == 1 and data["answer"]["bits"] == [1, 0, 1]
+    assert main(["solve", "0b2", "--task", "lower_bound"]) == 2
+    assert "bit string" in capsys.readouterr().err
+
+
+def test_incompatible_options_exit_2(capsys):
+    assert main(["solve", "(0 + 1)", "--backend", "fast",
+                 "--num-processors", "4"]) == 2
+    assert "num_processors" in capsys.readouterr().err
+
+
+def test_bad_input_exits_2(capsys):
+    assert main(["solve", "no/such/file.json"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sequential_method(capsys):
+    assert main(["solve", "(0 + (1 * 2))", "--method", "sequential"]) == 0
+    assert "backend=sequential" in capsys.readouterr().out
+
+
+def test_unknown_task_rejected_by_argparse(capsys):
+    with pytest.raises(SystemExit):
+        main(["solve", "(0+1)", "--task", "nope"])

@@ -1,0 +1,97 @@
+"""Solution JSON round-trips, including through repro.io.save_json/load_json."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Solution, SolveOptions, solve
+from repro.cograph import clique, random_cotree, union_of_cliques
+from repro.io import load_json, save_json
+
+
+def _round_trip(solution: Solution) -> Solution:
+    return Solution.from_json_dict(solution.to_json_dict())
+
+
+def test_path_cover_solution_round_trips():
+    tree = random_cotree(30, seed=3)
+    sol = solve(tree, backend="pram", record_steps=True)
+    back = _round_trip(sol)
+    assert back.task == sol.task
+    assert back.answer.paths == sol.answer.paths
+    assert back.cover.paths == sol.cover.paths
+    assert back.num_paths == sol.num_paths
+    assert back.backend == sol.backend
+    assert back.options == sol.options
+    assert back.stage_seconds == sol.stage_seconds
+    assert back.provenance == sol.provenance
+    assert back.machine is None  # the live machine never serialises
+
+
+def test_report_round_trips_with_labels():
+    sol = solve(union_of_cliques([3, 4]), backend="pram", record_steps=True)
+    back = _round_trip(sol)
+    assert back.report.rounds == sol.report.rounds
+    assert back.report.work == sol.report.work
+    assert back.report.num_processors == sol.report.num_processors
+    assert back.report.mode == sol.report.mode
+    assert set(back.report.by_label) == set(sol.report.by_label)
+    label = next(iter(sol.report.by_label))
+    assert back.report.by_label[label].work == sol.report.by_label[label].work
+
+
+def test_fast_solution_round_trips_without_report():
+    sol = solve(clique(5), backend="fast")
+    back = _round_trip(sol)
+    assert back.report is None and back.num_paths == 1
+
+
+@pytest.mark.parametrize("task,problem", [
+    ("hamiltonian_path", "(0 * (1 * 2))"),
+    ("hamiltonian_cycle", "(0 + 1)"),
+    ("recognition", "(0 + 1)"),
+    ("lower_bound", [1, 0, 1]),
+    ("path_cover_size", "(0 + (1 * 2))"),
+])
+def test_every_answer_shape_round_trips(task, problem):
+    sol = solve(problem, task)
+    back = _round_trip(sol)
+    assert back.answer == sol.answer
+    assert back.task == task
+
+
+def test_save_and_load_json_dispatch(tmp_path):
+    sol = solve(random_cotree(12, seed=9), backend="fast")
+    path = tmp_path / "solution.json"
+    save_json(sol, str(path))
+    back = load_json(str(path))
+    assert isinstance(back, Solution)
+    assert back.cover.paths == sol.cover.paths
+    assert back.options == sol.options
+
+
+def test_from_json_dict_rejects_other_types():
+    with pytest.raises(ValueError, match="not a serialised solution"):
+        Solution.from_json_dict({"type": "cotree"})
+
+
+def test_save_json_rejects_untagged_payloads(tmp_path):
+    # CostReport also has to_json_dict, but its payload carries no 'type'
+    # tag so load_json could never round-trip it
+    report = solve(clique(3)).report
+    with pytest.raises(TypeError, match="no 'type' tag"):
+        save_json(report, str(tmp_path / "report.json"))
+
+
+def test_without_machine_is_identity_when_machineless():
+    sol = solve(clique(3), backend="fast")
+    assert sol.without_machine() is sol
+
+
+def test_without_machine_drops_only_the_machine():
+    sol = solve(clique(3), backend="pram")
+    assert sol.machine is not None
+    stripped = sol.without_machine()
+    assert stripped.machine is None
+    assert stripped.report is sol.report
+    assert stripped.cover is sol.cover

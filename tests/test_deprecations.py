@@ -1,0 +1,157 @@
+"""The pre-1.1 entry points: still correct, but warning-emitting shims.
+
+Covers the ISSUE 2 satellite: ``minimum_path_cover`` used to *silently
+ignore* ``backend`` when ``method="sequential"`` — it must now raise — and
+the acceptance criterion that every shim warns exactly once per call site
+while producing results identical to ``solve()``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import solve
+from repro.cograph import clique, minimum_path_cover_size, random_cotree
+
+TREE = random_cotree(18, seed=4)
+
+
+def _call_warns_deprecated(fn):
+    """Run ``fn`` asserting exactly one DeprecationWarning; return result."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "MIGRATION.md" in str(deprecations[0].message)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# the satellite bug fix
+# --------------------------------------------------------------------------- #
+
+def test_sequential_plus_backend_now_raises():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(ValueError, match="method='parallel'"):
+            repro.minimum_path_cover(TREE, method="sequential",
+                                     backend="fast")
+        # the previously-silently-ignored default also raises when explicit
+        with pytest.raises(ValueError):
+            repro.minimum_path_cover(TREE, method="sequential",
+                                     backend="pram")
+
+
+def test_sequential_without_backend_still_works():
+    cover = _call_warns_deprecated(
+        lambda: repro.minimum_path_cover(TREE, method="sequential"))
+    assert cover.num_paths == minimum_path_cover_size(TREE)
+
+
+def test_unknown_method_still_raises_value_error():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(ValueError):
+            repro.minimum_path_cover(clique(3), method="magic")
+
+
+# --------------------------------------------------------------------------- #
+# every shim warns and agrees with solve()
+# --------------------------------------------------------------------------- #
+
+def test_minimum_path_cover_shim():
+    cover = _call_warns_deprecated(lambda: repro.minimum_path_cover(TREE))
+    assert cover.paths == solve(TREE).cover.paths
+
+
+def test_minimum_path_cover_parallel_shim():
+    result = _call_warns_deprecated(
+        lambda: repro.minimum_path_cover_parallel(TREE, backend="fast"))
+    reference = solve(TREE, backend="fast")
+    assert result.cover.paths == reference.cover.paths
+    assert result.backend == "fast"
+    assert result.p_root == reference.num_paths
+
+
+def test_minimum_path_cover_parallel_shim_keeps_machine_escape_hatch():
+    from repro.pram import PRAM
+    machine = PRAM(4)
+    result = _call_warns_deprecated(
+        lambda: repro.minimum_path_cover_parallel(TREE, machine=machine))
+    assert result.machine is machine
+
+
+def test_sequential_path_cover_shim():
+    cover = _call_warns_deprecated(
+        lambda: repro.sequential_path_cover(TREE))
+    assert cover.paths == solve(TREE, method="sequential").cover.paths
+    cover2, stats = _call_warns_deprecated(
+        lambda: repro.sequential_path_cover(TREE, return_stats=True))
+    assert cover2.num_paths == cover.num_paths
+    assert stats.num_vertices == TREE.num_vertices
+
+
+def test_solve_batch_shim():
+    trees = [random_cotree(10, seed=s) for s in range(3)]
+    batch = _call_warns_deprecated(lambda: repro.solve_batch(trees))
+    assert [b.num_paths for b in batch] == \
+        [minimum_path_cover_size(t) for t in trees]
+    assert [b.index for b in batch] == [0, 1, 2]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(ValueError):
+            repro.solve_batch(trees, backend="warp")
+
+
+@pytest.mark.parametrize("shim,task", [
+    (repro.has_hamiltonian_path, "hamiltonian_path"),
+    (repro.has_hamiltonian_cycle, "hamiltonian_cycle"),
+])
+def test_has_hamiltonian_shims(shim, task):
+    for tree in (clique(4), TREE):
+        decided = _call_warns_deprecated(lambda: shim(tree))
+        assert decided == solve(tree, task).ok
+
+
+@pytest.mark.parametrize("shim,task", [
+    (repro.hamiltonian_path, "hamiltonian_path"),
+    (repro.hamiltonian_cycle, "hamiltonian_cycle"),
+])
+def test_hamiltonian_witness_shims(shim, task):
+    for tree in (clique(4), TREE):
+        witness = _call_warns_deprecated(lambda: shim(tree))
+        assert witness == solve(tree, task).answer
+
+
+# --------------------------------------------------------------------------- #
+# warning hygiene
+# --------------------------------------------------------------------------- #
+
+def test_shims_warn_once_per_call_site():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(3):
+            repro.minimum_path_cover(clique(3))  # one call site, three calls
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+
+
+def test_warnings_attributed_to_the_caller_not_repro():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        repro.minimum_path_cover(clique(3))
+    assert caught[0].filename == __file__
+
+
+def test_solve_itself_never_warns():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("error", DeprecationWarning)
+        solve(TREE, backend="fast")
+        solve(TREE, "hamiltonian_cycle")
+    assert caught == []
