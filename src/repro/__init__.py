@@ -94,6 +94,7 @@ from .core import (
     PathCoverSolver,
     Pipeline,
     PipelineRun,
+    WorkerPool,
 )
 from .core import hamiltonian as _hamiltonian
 from .core import solver as _solver
@@ -103,18 +104,21 @@ from .api import (
     METHOD_NAMES,
     Problem,
     Solution,
+    SolutionCache,
     SolveOptions,
     as_problem,
     register_task,
     solve,
     solve_many,
+    solve_stream,
     task_names,
 )
 
 __all__ = [
     "__version__",
     # the front door
-    "solve", "solve_many", "SolveOptions", "Solution",
+    "solve", "solve_many", "solve_stream", "SolveOptions", "Solution",
+    "SolutionCache", "WorkerPool",
     "Problem", "as_problem", "register_task", "task_names", "METHOD_NAMES",
     # substrate
     "Cotree", "BinaryCotree", "Graph", "PathCover", "CographAdjacencyOracle",

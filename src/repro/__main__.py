@@ -5,11 +5,20 @@
     python -m repro solve "(0 + (1 * 2))"
     python -m repro solve instance.json --task hamiltonian_cycle --json
     python -m repro solve "(0 * (1 * 2))" --backend fast --validate
+    python -m repro solve --stream --jobs 4 < instances.jsonl
     python -m repro tasks
 
 The INPUT argument accepts everything :func:`repro.api.as_problem` does from
 a string: compact cotree text (``(0 + (1 * 2))``) or a path to a JSON file
 written by :func:`repro.io.save_json`.
+
+With ``--stream`` no INPUT is given: instances are read from stdin as JSON
+Lines — one problem per line (a quoted cotree-text string, a serialised
+cotree/graph object, an edge list, an adjacency dict; bare cotree text lines
+are accepted too) — and one solution is written per line, in input order,
+as they complete.  ``--jobs`` fans the stream out over worker processes
+with bounded in-flight instances (``--window``), and ``--cache`` answers
+repeated identical instances from an LRU cache.
 """
 
 from __future__ import annotations
@@ -18,7 +27,14 @@ import argparse
 import json
 import sys
 
-from .api import METHOD_NAMES, SolveOptions, solve, task_names
+from .api import (
+    METHOD_NAMES,
+    SolutionCache,
+    SolveOptions,
+    solve,
+    solve_stream,
+    task_names,
+)
 from .api.registry import TASKS
 from .backends import BACKEND_NAMES
 from .io import render_cover
@@ -31,11 +47,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     "— one front door over every task.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("solve", help="solve one instance")
-    run.add_argument("input",
+    run = sub.add_parser("solve", help="solve one instance (or a stream)")
+    run.add_argument("input", nargs="?", default=None,
                      help="cotree text like '(0 + (1 * 2))' or a JSON file "
                           "path (cotree or graph); for --task lower_bound, "
-                          "a 0/1 bit string like '101' or '1,0,1'")
+                          "a 0/1 bit string like '101' or '1,0,1'; omit "
+                          "with --stream")
     run.add_argument("--task", default="path_cover", choices=task_names(),
                      help="what to compute (default: path_cover)")
     run.add_argument("--method", default="parallel", choices=METHOD_NAMES,
@@ -48,7 +65,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--validate", action="store_true",
                      help="check the cover against the adjacency oracle")
     run.add_argument("--json", action="store_true",
-                     help="print the full Solution as JSON")
+                     help="print the full Solution as JSON (JSONL with "
+                          "--stream)")
+    run.add_argument("--stream", action="store_true",
+                     help="read one problem per line (JSON Lines) from "
+                          "stdin and stream solutions out in input order")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for --stream (0 = one per CPU; "
+                          "default: in-process)")
+    run.add_argument("--window", type=int, default=None, metavar="W",
+                     help="max instances in flight for --stream "
+                          "(backpressure; default: 4 * jobs * chunksize)")
+    run.add_argument("--chunksize", type=int, default=1, metavar="C",
+                     help="instances per worker task for --stream "
+                          "(default: 1)")
+    run.add_argument("--cache", type=int, default=None, metavar="SIZE",
+                     help="answer repeated identical instances from an "
+                          "LRU cache of SIZE entries")
 
     sub.add_parser("tasks", help="list the registered tasks")
     return parser
@@ -70,10 +103,57 @@ def _parse_bits(text: str):
     return [int(c) for c in digits]
 
 
+def _iter_jsonl(lines, task: str):
+    """Lazily turn stdin lines into problems (blank lines skipped)."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            value = json.loads(line)
+        except json.JSONDecodeError:
+            # bare cotree text like (0 + (1 * 2)) is accepted unquoted
+            value = line
+        if task == "lower_bound" and isinstance(value, (str, int)):
+            # "101" JSON-parses to the integer 101; both spellings are
+            # bit strings here
+            value = _parse_bits(str(value))
+        yield value
+
+
+def _print_solution(solution, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(solution.to_json_dict()))
+    else:
+        print(solution.summary())
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    cache = SolutionCache(args.cache) if args.cache is not None else None
     options = SolveOptions(method=args.method, backend=args.backend,
                            num_processors=args.num_processors,
-                           validate=args.validate)
+                           validate=args.validate, cache=cache)
+    if args.stream:
+        if args.input is not None:
+            raise ValueError("--stream reads problems from stdin; drop the "
+                             "INPUT argument")
+        stream = solve_stream(_iter_jsonl(sys.stdin, args.task), args.task,
+                              options=options, jobs=args.jobs,
+                              window=args.window, chunksize=args.chunksize)
+        count = 0
+        for solution in stream:
+            _print_solution(solution, args.json)
+            count += 1
+        if cache is not None:
+            print(f"cache: {cache.stats()}", file=sys.stderr)
+        print(f"solved {count} instance(s)", file=sys.stderr)
+        return 0
+    if args.input is None:
+        raise ValueError("INPUT is required unless --stream is given")
+    if args.jobs is not None or args.window is not None \
+            or args.chunksize != 1 or args.cache is not None:
+        raise ValueError("--jobs/--window/--chunksize/--cache only apply "
+                         "to --stream")
     problem = (_parse_bits(args.input) if args.task == "lower_bound"
                else args.input)
     solution = solve(problem, args.task, options=options)

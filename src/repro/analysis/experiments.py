@@ -93,6 +93,17 @@ EXPERIMENTS: List[ExperimentSpec] = [
         ("repro.backends", "repro.core.pipeline", "repro.core.batch"),
         "benchmarks/bench_backends.py"),
     ExperimentSpec(
+        "E10", "streaming scale-out (engineering)",
+        "solve_stream consumes instance streams lazily with a bounded "
+        "in-flight window (no full materialisation even at 100k "
+        "instances); a persistent WorkerPool beats per-call solve_batch "
+        "on repeated small batches; the canonical-form solution cache "
+        "absorbs repeat traffic.",
+        "lazily generated cotree streams, many small batches, skewed "
+        "repeat-request mixes",
+        ("repro.core.batch", "repro.api.solve", "repro.api.cache"),
+        "benchmarks/bench_stream.py"),
+    ExperimentSpec(
         "A1", "leftist condition (ablation)",
         "Without the leftist reordering the 1-node recurrence stops being "
         "minimum: the produced covers are strictly larger on adversarial "

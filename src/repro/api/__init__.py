@@ -25,16 +25,17 @@ True
 """
 
 from .adapters import SOURCE_FORMATS, Problem, as_problem
+from .cache import SolutionCache, canonical_cotree_key
 from .options import METHOD_NAMES, SolveOptions
 from .registry import TaskSpec, get_task, register_task, task_names
 from .solution import Solution
-from .solve import solve, solve_many
+from .solve import solve, solve_many, solve_stream
 
 from . import tasks as _tasks  # noqa: F401  (registers the built-in tasks)
 
 __all__ = [
-    "solve", "solve_many",
-    "SolveOptions", "Solution",
+    "solve", "solve_many", "solve_stream",
+    "SolveOptions", "Solution", "SolutionCache", "canonical_cotree_key",
     "Problem", "as_problem", "SOURCE_FORMATS", "METHOD_NAMES",
     "register_task", "task_names", "get_task", "TaskSpec",
 ]

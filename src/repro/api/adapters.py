@@ -160,11 +160,17 @@ def _from_string(text: str) -> Problem:
     if not stripped:
         raise ValueError("empty string is not a problem; pass cotree text "
                          "like '(0 + (1 * 2))' or a JSON file path")
-    if stripped.startswith("(") or stripped.isdigit():
+    if stripped.startswith("("):
         return Problem(source_format="text",
                        tree=cotree_from_text(stripped))
+    # the filesystem wins over the single-vertex reading: a JSON file named
+    # "123" must stay loadable, and a digit string that names no file still
+    # parses as a single-vertex cotree below
     if os.path.exists(stripped):
         return _from_json_path(stripped)
+    if stripped.isdigit():
+        return Problem(source_format="text",
+                       tree=cotree_from_text(stripped))
     raise ValueError(
         f"string {text!r} is neither cotree text (must start with '(' or "
         f"be a single vertex id) nor an existing JSON file path")
@@ -209,6 +215,10 @@ def _from_dict(data: dict) -> Problem:
 
 
 def _from_array(arr: np.ndarray, task: Optional[str]) -> Problem:
+    if arr.size == 0:
+        # same friendly message as an empty list/tuple, instead of a raw
+        # ``max() arg is an empty sequence`` out of _edge_list
+        raise ValueError(_EMPTY_INPUT_MESSAGE)
     if arr.ndim == 2 and arr.shape[1] == 2:
         return _edge_list([(int(u), int(v)) for u, v in arr])
     if arr.ndim == 1:
@@ -217,13 +227,17 @@ def _from_array(arr: np.ndarray, task: Optional[str]) -> Problem:
                      f"expected an (m, 2) edge list or a 1-d bit vector")
 
 
+#: the one empty-input message, shared by the list, tuple and array paths.
+_EMPTY_INPUT_MESSAGE = (
+    "an empty sequence is ambiguous (empty edge list has no vertex "
+    "count, empty bit vector has no bits); pass a Graph, an "
+    "adjacency dict, or a cotree instead")
+
+
 def _from_sequence(seq, task: Optional[str]) -> Problem:
     items = list(seq)
     if not items:
-        raise ValueError(
-            "an empty sequence is ambiguous (empty edge list has no vertex "
-            "count, empty bit vector has no bits); pass a Graph, an "
-            "adjacency dict, or a cotree instead")
+        raise ValueError(_EMPTY_INPUT_MESSAGE)
     if all(_is_int(x) for x in items):
         return _bits(items, task)
     if all(_is_pair(x) for x in items):
@@ -235,6 +249,11 @@ def _from_sequence(seq, task: Optional[str]) -> Problem:
 
 
 def _edge_list(edges) -> Problem:
+    bad = [(u, v) for u, v in edges if u < 0 or v < 0]
+    if bad:
+        raise ValueError(
+            f"edge list contains negative vertex id(s) (e.g. {bad[0]}); "
+            f"vertices must be numbered 0, 1, 2, ...")
     n = max(max(u, v) for u, v in edges) + 1
     return Problem(source_format="edge_list", graph=Graph(n, edges))
 

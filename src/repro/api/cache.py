@@ -1,0 +1,158 @@
+"""An LRU cache of :class:`~repro.api.Solution` values.
+
+Repeat traffic — the "millions of users" scenario of the ROADMAP — often
+re-asks *identical* instances: the same cotree arriving as text, as JSON,
+or with its children listed in a different order.  :class:`SolutionCache`
+keys solved instances on a **canonical cotree form** (canonicalised, with
+children sorted), so all those spellings hit the same entry, together with
+the task name and the full option set (two configurations never share an
+answer).
+
+Wire a cache through :class:`~repro.api.SolveOptions`::
+
+    cache = SolutionCache(maxsize=4096)
+    solve(problem, cache=cache)          # miss: solves, stores
+    solve(same_problem, cache=cache)     # hit: no pipeline runs
+
+Hits and misses are reported in ``Solution.provenance["cache"]``.  The
+cache lives in the *calling* process: the batch/stream fan-out checks it
+before submitting work and stores results as they come back, so worker
+processes never carry a copy.
+
+Stored and returned solutions each have their own ``provenance`` dict,
+but ``answer``/``cover`` are shared objects — treat them as immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..cograph import BinaryCotree, Cotree, NotACographError
+from ..cograph.cotree import LEAF, UNION
+
+__all__ = ["SolutionCache", "canonical_cotree_key"]
+
+
+def canonical_cotree_key(tree) -> Tuple:
+    """A hashable canonical form of a cotree.
+
+    Two cotrees get the same key iff they represent the same labelled
+    cograph: the tree is canonicalised (unary nodes spliced, same-label
+    children merged — properties (4) and (5)) and every node's children are
+    sorted, so child order — which is meaningless for union/join — never
+    splits the key.  Vertex ids *do* matter (covers name vertices).
+    """
+    if isinstance(tree, BinaryCotree):
+        tree = tree.to_cotree()
+    if not isinstance(tree, Cotree):
+        raise TypeError(f"expected a cotree, got {type(tree).__name__}")
+    if not tree.is_canonical() and tree.num_vertices > 1:
+        tree = tree.canonicalize()
+    key: Dict[int, Any] = {}
+    for u in tree.postorder():
+        if tree.kind[u] == LEAF:
+            key[u] = int(tree.leaf_vertex[u])
+        else:
+            op = "+" if tree.kind[u] == UNION else "*"
+            children = sorted((key[c] for c in tree.children[u]), key=repr)
+            key[u] = (op, *children)
+    return ("cotree", key[tree.root])
+
+
+class SolutionCache:
+    """A bounded least-recently-used mapping of solved instances.
+
+    Parameters
+    ----------
+    maxsize:
+        entries kept; inserting past it evicts the least recently used
+        (``get`` refreshes recency).  Must be positive.
+
+    Attributes
+    ----------
+    hits, misses:
+        lookup counters (``get`` found / did not find the key).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if int(maxsize) < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # keying
+    # ------------------------------------------------------------------ #
+
+    def key_for(self, problem, task: str, options) -> Optional[Tuple]:
+        """The cache key of one adapted problem, or ``None`` if uncacheable.
+
+        Bit-vector (lower-bound) instances key on their bits; everything
+        else keys on :func:`canonical_cotree_key` of the instance's cotree.
+        A graph input that is not a cograph has no cotree — those return
+        ``None`` and bypass the cache (the ``recognition`` task still
+        answers ``False`` for them).
+        """
+        if problem.instance is not None:
+            problem_key: Tuple = (
+                "bits", tuple(int(b) for b in problem.instance.bits))
+        else:
+            try:
+                problem_key = canonical_cotree_key(problem.cotree())
+            except NotACographError:
+                return None
+        options_key = tuple(sorted(options.to_dict().items()))
+        return (task, problem_key, options_key)
+
+    # ------------------------------------------------------------------ #
+    # the mapping
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: Tuple):
+        """The cached solution for ``key`` (refreshed as most recent), or
+        ``None``.  Counts the lookup as a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, solution) -> None:
+        """Store ``solution`` under ``key``, evicting the LRU entry when
+        full.  The stored copy is machine-free and cache-free (so it
+        pickles without dragging this cache along) and has its own
+        ``provenance`` dict, so later mutations of the caller's solution
+        never reach future hits."""
+        self._entries[key] = replace(
+            solution, machine=None,
+            options=solution.options.with_(cache=None),
+            provenance=dict(solution.provenance))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep running)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """``{"hits", "misses", "size", "maxsize"}`` as a plain dict."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries), "maxsize": self.maxsize}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SolutionCache(size={len(self._entries)}, "
+                f"maxsize={self.maxsize}, hits={self.hits}, "
+                f"misses={self.misses})")

@@ -17,6 +17,7 @@ from typing import Any, Dict, Optional, Union
 
 from ..backends import BACKEND_NAMES
 from ..pram import AccessMode
+from .cache import SolutionCache
 
 __all__ = ["SolveOptions", "METHOD_NAMES"]
 
@@ -53,6 +54,11 @@ class SolveOptions:
         analytic path count before returning.
     record_steps:
         keep the per-step PRAM trace (``backend="pram"`` only).
+    cache:
+        a :class:`~repro.api.SolutionCache` consulted (and filled) by the
+        front door — identical instances are answered without re-running
+        anything.  Lives in the calling process only: it never crosses a
+        process boundary and is excluded from :meth:`to_dict`.
     """
 
     method: str = "parallel"
@@ -62,6 +68,7 @@ class SolveOptions:
     work_efficient: bool = True
     validate: bool = False
     record_steps: bool = False
+    cache: Optional[SolutionCache] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHOD_NAMES:
@@ -72,6 +79,10 @@ class SolveOptions:
                              f"use one of {tuple(BACKEND_NAMES)} or None")
         # normalise mode to the enum (raises ValueError on a bad string)
         object.__setattr__(self, "mode", AccessMode(self.mode))
+        if self.cache is not None and not isinstance(self.cache,
+                                                     SolutionCache):
+            raise TypeError(f"cache must be a SolutionCache or None, "
+                            f"got {type(self.cache).__name__}")
 
         if self.method == "sequential":
             bad = self._non_default_parallel_knobs()
@@ -141,8 +152,10 @@ class SolveOptions:
         return replace(self, **changes)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable dict (``mode`` as its string value)."""
-        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        """JSON-serialisable dict (``mode`` as its string value; the
+        ``cache`` — a live in-process object — is excluded)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)
+               if f.name != "cache"}
         out["mode"] = self.mode.value
         return out
 

@@ -56,7 +56,8 @@ class Solution:
     provenance:
         where the instance came from and per-task extras (source format,
         vertex count, ``p_root``, exchange count, library version, batch
-        index, ...).
+        index, and — when a :class:`~repro.api.SolutionCache` was
+        consulted — ``"cache": "hit"``/``"miss"``).
     machine:
         the live simulated machine for re-scaling experiments; in-process
         PRAM runs only — never serialised, dropped by the batch fan-out.
@@ -133,6 +134,12 @@ class Solution:
         or ``False`` decision)."""
         return self.answer is not None and self.answer is not False
 
+    @property
+    def cache_status(self) -> Optional[str]:
+        """``"hit"`` / ``"miss"`` when a solution cache was consulted,
+        ``None`` when no cache was configured."""
+        return self.provenance.get("cache")
+
     def summary(self) -> str:
         """One human-readable line about this solution."""
         bits = [f"task={self.task}", f"backend={self.backend}"]
@@ -145,6 +152,8 @@ class Solution:
             bits.append(f"answer={self.answer!r}")
         if self.report is not None:
             bits.append(f"rounds={self.report.rounds}")
+        if self.cache_status is not None:
+            bits.append(f"cache={self.cache_status}")
         return "Solution(" + ", ".join(bits) + ")"
 
 

@@ -1,9 +1,23 @@
-"""``solve()`` and ``solve_many()`` — the package's one front door.
+"""``solve()``, ``solve_many()`` and ``solve_stream()`` — the front door.
 
 Every question the library answers goes through here: the input is adapted
 by :func:`~repro.api.adapters.as_problem`, the configuration is one
 validated :class:`~repro.api.SolveOptions`, the task is looked up in the
 registry, and the result is always a :class:`~repro.api.Solution`.
+
+Three shapes of traffic:
+
+* :func:`solve` — one instance, in-process;
+* :func:`solve_many` — an eager batch (a list in, a list out);
+* :func:`solve_stream` — an *iterable* in, a generator out: instances are
+  adapted lazily, at most ``window`` are in flight (backpressure), and
+  solutions stream back in input order.  A million-instance stream never
+  holds a million problems resident.
+
+All three honour ``SolveOptions(cache=...)`` (identical instances answered
+from an LRU cache) and the batch/stream pair accept a persistent
+:class:`~repro.core.WorkerPool` so sustained traffic reuses warm workers
+instead of forking a pool per call.
 
 >>> from repro.api import solve
 >>> solve("(0 * (1 + 2))").num_paths
@@ -14,15 +28,16 @@ True
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from dataclasses import replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..core.batch import fan_out
-from .adapters import as_problem
+from ..core.batch import Resolved, WorkerPool, resolve_jobs, stream_out
+from .adapters import Problem, as_problem
 from .options import SolveOptions
 from .registry import get_task
 from .solution import Solution
 
-__all__ = ["solve", "solve_many"]
+__all__ = ["solve", "solve_many", "solve_stream"]
 
 
 def _resolve_options(options: Optional[SolveOptions],
@@ -41,7 +56,9 @@ def _resolve_options(options: Optional[SolveOptions],
 
 def _reject_pipeline_options(task: str, options: SolveOptions) -> None:
     """Tasks that never run the solver pipeline reject non-default options
-    instead of silently ignoring them."""
+    instead of silently ignoring them.  (The ``cache`` is excluded from
+    ``to_dict`` and is handled by the front door itself, so it is welcome
+    on every task.)"""
     defaults = SolveOptions().to_dict()
     offending = [f"{name}={value!r}"
                  for name, value in options.to_dict().items()
@@ -50,6 +67,20 @@ def _reject_pipeline_options(task: str, options: SolveOptions) -> None:
         raise ValueError(
             f"task {task!r} does not run the solver pipeline; option(s) "
             f"{', '.join(offending)} would have no effect — drop them")
+
+
+#: provenance keys that describe one *call*, not the instance — never
+#: inherited from the stored entry by a cache hit.
+_CALL_PROVENANCE = ("batch_index", "source", "source_format", "cache")
+
+
+def _from_cache(hit: Solution, prob: Problem) -> Solution:
+    """A copy of a cached solution, re-attributed to *this* call's input."""
+    provenance = {k: v for k, v in hit.provenance.items()
+                  if k not in _CALL_PROVENANCE}
+    provenance.update(prob.provenance())
+    provenance["cache"] = "hit"
+    return replace(hit, provenance=provenance)
 
 
 def solve(problem: Any, task: str = "path_cover", *,
@@ -68,6 +99,9 @@ def solve(problem: Any, task: str = "path_cover", *,
     options:
         a :class:`~repro.api.SolveOptions`; alternatively pass its fields
         directly as keyword arguments (``solve(tree, backend="fast")``).
+        With ``cache=SolutionCache(...)`` set, a previously-solved
+        identical instance is answered from the cache
+        (``provenance["cache"]`` reports ``"hit"``/``"miss"``).
 
     Returns
     -------
@@ -78,9 +112,18 @@ def solve(problem: Any, task: str = "path_cover", *,
     prob = as_problem(problem, task=task)
     if not spec.runs_pipeline:
         _reject_pipeline_options(task, opts)
+    cache = opts.cache
+    key = cache.key_for(prob, task, opts) if cache is not None else None
+    if key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return _from_cache(hit, prob)
     solution = spec.fn(prob, opts)
-    for key, value in prob.provenance().items():
-        solution.provenance.setdefault(key, value)
+    for name, value in prob.provenance().items():
+        solution.provenance.setdefault(name, value)
+    if key is not None:
+        solution.provenance["cache"] = "miss"
+        cache.put(key, solution)
     return solution
 
 
@@ -92,23 +135,112 @@ def _solve_one_payload(payload) -> Solution:
     return solution
 
 
+def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
+                 options: Optional[SolveOptions] = None,
+                 jobs: Optional[int] = None,
+                 window: Optional[int] = None,
+                 chunksize: int = 1,
+                 pool: Optional[WorkerPool] = None,
+                 **option_fields: Any) -> Iterator[Solution]:
+    """Stream solutions for a lazily-consumed iterable of instances.
+
+    The streaming front door: ``problems`` may be any iterable — a
+    generator reading requests off a socket, a JSONL file, ten million
+    synthetic instances — and is *never* materialised.  At most ``window``
+    instances are in flight at a time (drawn from the iterable but not yet
+    yielded back), and solutions come back **in input order** as they
+    complete, each stamped with ``provenance["batch_index"]``.
+
+    Parameters
+    ----------
+    problems:
+        an iterable of anything :func:`~repro.api.as_problem` accepts.
+    task:
+        a registered task name.
+    options / option_fields:
+        as for :func:`solve`.  With a ``cache`` set, hits are answered in
+        the calling process and never reach a worker; misses are inserted
+        as they complete.
+    jobs:
+        worker processes (``None``/``1`` in-process and fully lazy, ``0``
+        one per CPU).  Ignored when ``pool`` is given.
+    window:
+        backpressure bound (default ``4 * jobs * chunksize``).
+    chunksize:
+        instances handed to a worker per task (amortises pickling for
+        small instances).
+    pool:
+        a persistent :class:`~repro.core.WorkerPool`; workers stay warm
+        for the next call instead of forking per stream.
+
+    Yields
+    ------
+    Solution
+        in input order.  Like :func:`solve_many`, streamed solutions never
+        carry a live PRAM ``machine``.
+    """
+    opts = _resolve_options(options, option_fields)
+    spec = get_task(task)  # fail fast on unknown tasks, before adapting
+    cache = opts.cache
+    worker_opts = opts.with_(cache=None) if cache is not None else opts
+    if not spec.runs_pipeline:
+        _reject_pipeline_options(task, worker_opts)
+    keys: Dict[int, Tuple] = {}
+
+    def payloads():
+        for index, raw in enumerate(problems):
+            prob = as_problem(raw, task=task)
+            if cache is not None:
+                key = cache.key_for(prob, task, worker_opts)
+                if key is not None:
+                    hit = cache.get(key)
+                    if hit is not None:
+                        hit = _from_cache(hit, prob)
+                        hit.provenance["batch_index"] = index
+                        yield Resolved(hit.without_machine())
+                        continue
+                    keys[index] = key
+            yield (index, prob, task, worker_opts)
+
+    def results():
+        for solution in stream_out(_solve_one_payload, payloads(),
+                                   jobs=jobs, window=window,
+                                   chunksize=chunksize, pool=pool):
+            if cache is not None:
+                key = keys.pop(solution.provenance["batch_index"], None)
+                if key is not None:
+                    solution.provenance["cache"] = "miss"
+                    cache.put(key, solution)
+            yield solution
+
+    return results()
+
+
 def solve_many(problems: Iterable[Any], task: str = "path_cover", *,
                options: Optional[SolveOptions] = None,
                jobs: Optional[int] = None,
                chunksize: Optional[int] = None,
+               pool: Optional[WorkerPool] = None,
                **option_fields: Any) -> List[Solution]:
     """Solve a batch of instances, optionally across worker processes.
 
-    The batch rides the same fan-out engine as
-    :func:`repro.core.solve_batch` (``jobs=None``/``1`` in-process, ``0``
-    one worker per CPU) and returns one :class:`~repro.api.Solution` per
-    input, in input order, each stamped with ``provenance["batch_index"]``.
+    The eager wrapper over :func:`solve_stream` (one fan-out code path):
+    the batch is materialised, the window is the whole batch, and one
+    :class:`~repro.api.Solution` per input comes back in input order, each
+    stamped with ``provenance["batch_index"]``.  ``jobs=None``/``1`` runs
+    in-process, ``0`` means one worker per CPU; pass a persistent
+    :class:`~repro.core.WorkerPool` to reuse warm workers across calls.
     Live PRAM machines never cross process boundaries; batch solutions
     always have ``machine=None``.
     """
-    opts = _resolve_options(options, option_fields)
-    get_task(task)  # fail fast on unknown tasks, before adapting inputs
-    payloads = [(i, as_problem(p, task=task), task, opts)
-                for i, p in enumerate(problems)]
-    return fan_out(_solve_one_payload, payloads, jobs=jobs,
-                   chunksize=chunksize)
+    problems = list(problems)
+    n_jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
+    if pool is None:
+        # never fork more workers than there are instances
+        jobs = min(n_jobs, len(problems)) if problems else None
+    if chunksize is None:
+        chunksize = max(1, len(problems) // (max(1, n_jobs) * 4))
+    return list(solve_stream(problems, task, options=options, jobs=jobs,
+                             window=max(1, len(problems)),
+                             chunksize=chunksize, pool=pool,
+                             **option_fields))

@@ -30,7 +30,15 @@ from .lower_bound import (
     or_instance_cotree,
     parallel_or_rounds,
 )
-from .batch import BatchResult, solve_batch
+from .batch import (
+    BatchResult,
+    Resolved,
+    WorkerPool,
+    fan_out,
+    resolve_jobs,
+    solve_batch,
+    stream_out,
+)
 from .path_trees import PathForest, build_pseudo_forest, legalize_forest, remove_dummies
 from .pipeline import (
     STAGE_ORDER,
@@ -58,7 +66,8 @@ __all__ = [
     "minimum_path_cover_parallel", "ParallelPathCoverResult", "PathCoverSolver",
     "Pipeline", "PipelineRun", "PipelineState", "PipelineError",
     "StageTiming", "STAGE_ORDER",
-    "solve_batch", "BatchResult",
+    "solve_batch", "BatchResult", "WorkerPool", "Resolved",
+    "fan_out", "stream_out", "resolve_jobs",
     "or_instance_cotree", "or_from_path_count", "or_from_cover",
     "expected_path_count", "parallel_or_rounds", "LowerBoundInstance",
     "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",

@@ -1,52 +1,317 @@
-"""Batch solving: fan a set of instances out over processes.
+"""Batch and streaming fan-out: one engine behind every multi-instance call.
 
 The PRAM simulator answers "what does this cost on the paper's machine?";
 the fast backend answers "what is the cover?" as quickly as NumPy allows.
-:func:`solve_batch` adds the third axis — throughput across *instances* —
-by solving many cotrees at once, optionally on a pool of worker processes
-(CPython's GIL rules out thread-level parallelism for this workload, so the
-fan-out uses ``multiprocessing`` via :class:`concurrent.futures`).
+This module adds the third axis — throughput across *instances* — in two
+shapes:
 
-Results come back in input order as lightweight :class:`BatchResult`
-records (cover + counts + per-stage timings), which keeps the payload
-picklable and small — no machines or reports cross process boundaries.
+* :func:`stream_out` — the streaming engine.  It consumes an *iterable* of
+  payloads lazily, keeps at most ``window`` payloads in flight
+  (backpressure: a million-instance stream never materialises a
+  million-payload list), and yields results in input order as they
+  complete.  Work is fanned out over processes (CPython's GIL rules out
+  thread-level parallelism for this workload, so the fan-out uses
+  ``multiprocessing`` via :class:`concurrent.futures`).
+* :func:`fan_out` — the eager wrapper: materialise the payload list, run
+  the same engine with the window thrown wide open, return a list.
+
+Sustained many-call traffic should hand both of them a :class:`WorkerPool`:
+a persistent, reusable ``ProcessPoolExecutor`` whose workers stay warm
+across calls, instead of paying pool startup on every batch.
+
+Results come back in input order as lightweight picklable records — no
+machines or reports cross process boundaries.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..backends import BACKEND_NAMES
 from ..cograph import BinaryCotree, Cotree, PathCover
 from .solver import minimum_path_cover_parallel
 
-__all__ = ["BatchResult", "solve_batch", "fan_out"]
+__all__ = ["BatchResult", "WorkerPool", "Resolved", "solve_batch",
+           "fan_out", "stream_out", "resolve_jobs"]
 
 TreeLike = Union[Cotree, BinaryCotree]
 
 
-def fan_out(worker, payloads: List, *, jobs: Optional[int] = None,
-            chunksize: Optional[int] = None) -> List:
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` knob to a worker count.
+
+    ``None``/``1`` mean in-process (1), ``0`` means one worker per CPU,
+    anything else is taken literally (and must be positive).
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    return jobs
+
+
+class WorkerPool:
+    """A persistent process pool, reused across fan-out calls.
+
+    Every per-call ``ProcessPoolExecutor`` pays interpreter startup and
+    module imports in each worker; sustained traffic amortises that once by
+    creating one :class:`WorkerPool` and passing it to
+    :func:`repro.api.solve_many`, :func:`repro.api.solve_stream` or
+    :func:`solve_batch`::
+
+        with WorkerPool(jobs=4) as pool:
+            for batch in request_batches:
+                results = solve_batch(batch, pool=pool)
+
+    ``jobs=0`` (the default) means one worker per CPU; ``jobs=1`` degrades
+    to in-process execution (no processes are ever spawned), which makes
+    the pool a no-op you can still pass around uniformly.
+
+    The underlying executor is created lazily on first use and its workers
+    survive until :meth:`close` (or the ``with`` block) — that is the whole
+    point.  Pools are *not* picklable and must not be shared between
+    processes; share them between calls instead.
+    """
+
+    def __init__(self, jobs: Optional[int] = 0) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def serial(self) -> bool:
+        """True when the pool runs everything in-process (``jobs <= 1``)."""
+        return self.jobs <= 1
+
+    @property
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        """The lazily-created executor (``None`` for a serial pool)."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self.serial:
+            return None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def warm_up(self) -> "WorkerPool":
+        """Spin the worker processes up *now* instead of on first submit.
+
+        Useful right before latency-sensitive traffic; returns ``self`` so
+        it chains (``pool = WorkerPool(4).warm_up()``).
+        """
+        executor = self.executor
+        if executor is not None:
+            futures = [executor.submit(_noop) for _ in range(self.jobs)]
+            for f in futures:
+                f.result()
+        return self
+
+    def close(self) -> None:
+        """Shut the workers down.  Idempotent; the pool is unusable after."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else \
+            ("warm" if self._executor is not None else "cold")
+        return f"WorkerPool(jobs={self.jobs}, {state})"
+
+
+class Resolved:
+    """A payload whose result is already known.
+
+    :func:`stream_out` yields ``Resolved.value`` in order without invoking
+    the worker (or crossing a process boundary).  This is how cache hits
+    interleave with in-flight misses in :func:`repro.api.solve_stream`
+    while keeping one fan-out code path.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+def _noop() -> None:
+    """Worker warm-up body (module level so it pickles)."""
+
+
+def _apply_chunk(worker, chunk: List) -> List:
+    """Run ``worker`` over one chunk of payloads (module level: pickles)."""
+    return [worker(p) for p in chunk]
+
+
+class _Done:
+    """A completed pseudo-future wrapping already-available results."""
+
+    __slots__ = ("_results",)
+
+    def __init__(self, results: List) -> None:
+        self._results = results
+
+    def result(self) -> List:
+        return self._results
+
+
+def stream_out(worker, payloads: Iterable, *, jobs: Optional[int] = None,
+               window: Optional[int] = None, chunksize: int = 1,
+               pool: Optional[WorkerPool] = None) -> Iterator:
+    """Stream ``worker`` over ``payloads`` lazily, in input order.
+
+    The streaming engine behind :func:`fan_out`, :func:`solve_batch`,
+    :func:`repro.api.solve_many` and :func:`repro.api.solve_stream`.
+
+    Parameters
+    ----------
+    worker:
+        a module-level callable (it crosses process boundaries).  Payloads
+        wrapped in :class:`Resolved` bypass it entirely.
+    payloads:
+        any iterable — consumed lazily, never materialised in full.
+    jobs:
+        worker processes (``None``/``1`` in-process, ``0`` one per CPU).
+        Ignored when ``pool`` is given.
+    window:
+        backpressure bound: at most this many payloads are drawn from the
+        iterable but not yet yielded back (default ``4 * jobs * chunksize``,
+        at least one chunk).  In-process runs are fully lazy (window 1).
+    chunksize:
+        payloads handed to a worker process per task (amortises pickling
+        for small instances; default 1).
+    pool:
+        a persistent :class:`WorkerPool` to run on (workers stay warm for
+        the next call); otherwise an ephemeral pool is created and torn
+        down with the stream.
+
+    Yields
+    ------
+    results in payload order, as they complete.
+    """
+    if pool is not None:
+        n_jobs = pool.jobs
+    else:
+        n_jobs = resolve_jobs(jobs)
+
+    if n_jobs <= 1:
+        # in-process: fully lazy, one payload in flight at a time.
+        for p in payloads:
+            yield p.value if isinstance(p, Resolved) else worker(p)
+        return
+
+    chunksize = max(1, int(chunksize))
+    if window is None:
+        window = 4 * n_jobs * chunksize
+    window = max(int(window), chunksize)
+
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(n_jobs)
+    try:
+        executor = pool.executor
+        yield from _pump(worker, iter(payloads), executor,
+                         window=window, chunksize=chunksize)
+    finally:
+        if owned:
+            pool.close()
+
+
+def _pump(worker, it: Iterator, executor, *, window: int,
+          chunksize: int) -> Iterator:
+    """The pooled streaming loop: fill the window, yield the oldest chunk."""
+    pending: deque = deque()   # _Done / Future, in submission order
+    buf: List = []             # unsubmitted payloads (a partial chunk)
+    buffered = 0               # drawn from ``it`` but not yet yielded
+    exhausted = False
+    # an exception raised while *drawing* a payload must not discard the
+    # in-flight work that precedes it: the valid prefix is drained in
+    # order first, then the error propagates
+    draw_error: Optional[Exception] = None
+
+    def flush() -> None:
+        if buf:
+            pending.append(executor.submit(_apply_chunk, worker, list(buf)))
+            buf.clear()
+
+    while True:
+        while not exhausted and buffered < window:
+            try:
+                p = next(it)
+            except StopIteration:
+                exhausted = True
+                break
+            except Exception as exc:
+                draw_error = exc
+                exhausted = True
+                break
+            buffered += 1
+            if isinstance(p, Resolved):
+                # keep ordering: everything buffered so far goes first
+                flush()
+                pending.append(_Done([p.value]))
+            else:
+                buf.append(p)
+                if len(buf) >= chunksize:
+                    flush()
+        if exhausted:
+            flush()
+        if not pending:
+            if exhausted:
+                if draw_error is not None:
+                    raise draw_error
+                return
+            continue  # pragma: no cover - fill loop always queues work
+        for result in pending.popleft().result():
+            buffered -= 1
+            yield result
+
+
+def fan_out(worker, payloads: Iterable, *, jobs: Optional[int] = None,
+            chunksize: Optional[int] = None,
+            pool: Optional[WorkerPool] = None) -> List:
     """Map ``worker`` over ``payloads``, optionally across processes.
 
-    The shared fan-out engine behind :func:`solve_batch` and
-    :func:`repro.api.solve_many`.  ``worker`` must be a module-level
-    callable and every payload picklable.  ``jobs=None``/``1`` runs
-    in-process, ``0`` means one worker per CPU; results come back in
-    payload order.
+    The eager wrapper over :func:`stream_out` (one fan-out code path):
+    payloads are materialised, the window is the whole batch, and results
+    come back as a list in payload order.  ``worker`` must be a
+    module-level callable and every payload picklable.  ``jobs=None``/``1``
+    runs in-process, ``0`` means one worker per CPU; passing a persistent
+    :class:`WorkerPool` overrides ``jobs`` and keeps the workers warm for
+    the next call.
     """
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
-    if jobs is None or jobs <= 1 or len(payloads) <= 1:
-        return [worker(p) for p in payloads]
-    jobs = min(jobs, len(payloads))
+    payloads = list(payloads)
+    n_jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
+    if n_jobs <= 1 or len(payloads) <= 1:
+        return [p.value if isinstance(p, Resolved) else worker(p)
+                for p in payloads]
+    n_jobs = min(n_jobs, len(payloads))
     if chunksize is None:
-        chunksize = max(1, len(payloads) // (jobs * 4))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(worker, payloads, chunksize=chunksize))
+        chunksize = max(1, len(payloads) // (n_jobs * 4))
+    return list(stream_out(worker, payloads, jobs=n_jobs,
+                           window=max(1, len(payloads)),
+                           chunksize=chunksize, pool=pool))
 
 
 @dataclass
@@ -91,28 +356,32 @@ def _solve_one(payload) -> BatchResult:
 
 def solve_batch(trees: Iterable[TreeLike], *, backend: str = "fast",
                 jobs: Optional[int] = None, work_efficient: bool = True,
-                validate: bool = False,
-                chunksize: Optional[int] = None) -> List[BatchResult]:
+                validate: bool = False, chunksize: Optional[int] = None,
+                pool: Optional[WorkerPool] = None) -> List[BatchResult]:
     """Solve a batch of cotrees, optionally across worker processes.
 
     Parameters
     ----------
     trees:
         the instances; consumed eagerly (results preserve this order).
+        For lazily-generated streams use :func:`repro.api.solve_stream`.
     backend:
         ``"fast"`` (default — the throughput path) or ``"pram"``; must be a
         backend *name* because it has to cross process boundaries.
     jobs:
         worker processes.  ``None`` or ``1`` solves in-process (no pool);
-        ``0`` means "one per CPU".  A pool only pays for itself when the
-        per-instance work dwarfs the fork+pickle overhead, i.e. large
-        instances; for many small trees keep ``jobs=1``.
+        ``0`` means "one per CPU".  A fresh pool only pays for itself when
+        the per-instance work dwarfs the fork+pickle overhead; for
+        sustained many-call traffic pass a persistent ``pool`` instead.
     validate:
         validate every produced cover against the LCA adjacency oracle
         (raises on the first failure).
     chunksize:
         instances handed to a worker at a time (default: spread the batch
         evenly, at least 1).
+    pool:
+        a persistent :class:`WorkerPool` (overrides ``jobs``; workers stay
+        warm across calls).
 
     Returns
     -------
@@ -125,4 +394,5 @@ def solve_batch(trees: Iterable[TreeLike], *, backend: str = "fast",
                          f"got {backend!r}")
     payloads = [(i, tree, backend, work_efficient, validate)
                 for i, tree in enumerate(trees)]
-    return fan_out(_solve_one, payloads, jobs=jobs, chunksize=chunksize)
+    return fan_out(_solve_one, payloads, jobs=jobs, chunksize=chunksize,
+                   pool=pool)

@@ -197,3 +197,49 @@ def test_provenance_reports_the_source():
     sol = solve("(0 * (1 + 2))")
     assert sol.provenance["source_format"] == "text"
     assert sol.provenance["num_vertices"] == 3
+
+
+# --------------------------------------------------------------------------- #
+# regression tests (ISSUE 3 satellite bugfixes)
+# --------------------------------------------------------------------------- #
+
+def test_empty_numpy_edge_array_gets_the_friendly_error():
+    # used to crash with a raw ``max() arg is an empty sequence``
+    with pytest.raises(ValueError, match="empty sequence is ambiguous"):
+        as_problem(np.empty((0, 2), dtype=np.int64))
+
+
+def test_empty_array_and_empty_list_raise_the_same_message():
+    with pytest.raises(ValueError) as from_array:
+        as_problem(np.empty((0, 2), dtype=np.int64))
+    with pytest.raises(ValueError) as from_list:
+        as_problem([])
+    assert str(from_array.value) == str(from_list.value)
+
+
+@pytest.mark.parametrize("edges", [
+    [(-1, 0)],
+    [(0, 1), (2, -3)],
+    np.array([[-1, 0], [0, 1]], dtype=np.int64),
+])
+def test_negative_vertex_ids_are_rejected(edges):
+    # used to silently build a bogus Graph via n = max(...) + 1
+    with pytest.raises(ValueError, match="negative vertex id"):
+        as_problem(edges)
+
+
+def test_digit_named_json_file_is_loaded(tmp_path, monkeypatch):
+    # used to be shadowed by the single-vertex cotree reading of "123"
+    save_json(clique(5), str(tmp_path / "123"))
+    monkeypatch.chdir(tmp_path)
+    prob = as_problem("123")
+    assert prob.source_format == "json"
+    assert prob.num_vertices == 5
+
+
+def test_digit_string_without_a_file_is_still_a_single_vertex(tmp_path,
+                                                              monkeypatch):
+    monkeypatch.chdir(tmp_path)  # guaranteed no file named "123"
+    prob = as_problem("123")
+    assert prob.source_format == "text"
+    assert prob.num_vertices == 1

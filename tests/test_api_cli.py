@@ -74,3 +74,92 @@ def test_sequential_method(capsys):
 def test_unknown_task_rejected_by_argparse(capsys):
     with pytest.raises(SystemExit):
         main(["solve", "(0+1)", "--task", "nope"])
+
+
+# --------------------------------------------------------------------------- #
+# --stream: JSONL in, solutions out (ISSUE 3)
+# --------------------------------------------------------------------------- #
+
+def _feed_stdin(monkeypatch, lines):
+    import io
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+
+
+def test_stream_reads_jsonl_and_preserves_order(monkeypatch, capsys):
+    lines = [json.dumps("(0 + (1 * 2))"), json.dumps({"0": [1], "1": [0]}),
+             "", json.dumps([[0, 1], [1, 2], [0, 2]])]
+    _feed_stdin(monkeypatch, lines)
+    assert main(["solve", "--stream", "--json"]) == 0
+    captured = capsys.readouterr()
+    solutions = [json.loads(line) for line in captured.out.splitlines()]
+    assert [s["num_paths"] for s in solutions] == [2, 1, 1]
+    assert [s["provenance"]["batch_index"] for s in solutions] == [0, 1, 2]
+    assert "solved 3 instance(s)" in captured.err
+
+
+def test_stream_accepts_bare_cotree_text_lines(monkeypatch, capsys):
+    _feed_stdin(monkeypatch, ["(0 * 1)", "(0 + 1)"])
+    assert main(["solve", "--stream", "--task", "path_cover_size"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert len(out) == 2
+    assert "num_paths=1" in out[0] and "num_paths=2" in out[1]
+
+
+def test_stream_with_jobs_and_cache(monkeypatch, capsys):
+    _feed_stdin(monkeypatch, [json.dumps("(0 * (1 + 2))")] * 6)
+    assert main(["solve", "--stream", "--jobs", "2", "--window", "2",
+                 "--cache", "8", "--json"]) == 0
+    captured = capsys.readouterr()
+    solutions = [json.loads(line) for line in captured.out.splitlines()]
+    assert len(solutions) == 6
+    assert solutions[0]["provenance"]["cache"] == "miss"
+    assert solutions[-1]["provenance"]["cache"] == "hit"
+    assert "'hits':" in captured.err
+
+
+def test_stream_lower_bound_bit_lines(monkeypatch, capsys):
+    _feed_stdin(monkeypatch, ["101", json.dumps([0, 0])])
+    assert main(["solve", "--stream", "--task", "lower_bound",
+                 "--json"]) == 0
+    solutions = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+    assert [s["answer"]["or"] for s in solutions] == [1, 0]
+
+
+def test_stream_rejects_positional_input(capsys):
+    assert main(["solve", "--stream", "(0 + 1)"]) == 2
+    assert "drop the INPUT argument" in capsys.readouterr().err
+
+
+def test_missing_input_without_stream_exits_2(capsys):
+    assert main(["solve"]) == 2
+    assert "INPUT is required" in capsys.readouterr().err
+
+
+def test_jobs_without_stream_exits_2(capsys):
+    assert main(["solve", "(0 + 1)", "--jobs", "2"]) == 2
+    assert "--jobs/--window" in capsys.readouterr().err
+
+
+def test_chunksize_without_stream_exits_2(capsys):
+    assert main(["solve", "(0 + 1)", "--chunksize", "7"]) == 2
+    assert "--chunksize" in capsys.readouterr().err
+
+
+def test_cache_zero_is_rejected_not_ignored(monkeypatch, capsys):
+    _feed_stdin(monkeypatch, ["(0 * 1)"])
+    assert main(["solve", "--stream", "--cache", "0"]) == 2
+    assert "maxsize" in capsys.readouterr().err
+
+
+def test_cache_without_stream_exits_2(capsys):
+    assert main(["solve", "(0 + 1)", "--cache", "64"]) == 2
+    assert "--cache" in capsys.readouterr().err
+
+
+def test_stream_garbage_line_prints_prefix_then_fails(monkeypatch, capsys):
+    _feed_stdin(monkeypatch, ['"(0 * 1)"', '"(0 + 1)"', '"no/such/file"'])
+    assert main(["solve", "--stream", "--jobs", "2", "--window", "8"]) == 2
+    captured = capsys.readouterr()
+    assert len(captured.out.splitlines()) == 2  # valid prefix delivered
+    assert "error:" in captured.err
