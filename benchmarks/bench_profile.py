@@ -1,0 +1,211 @@
+"""E11 — per-stage wall-clock profile of the flat-array hot path.
+
+Every future PR needs a trajectory to compare against: this harness runs the
+eight-stage pipeline on fixed instances (``random_cotree``, seeds pinned) at
+n ∈ {1k, 10k, 100k} on both execution backends, records the wall-clock of
+every stage, and writes the result as machine-readable JSON
+(``benchmarks/results/BENCH_PR4.json``) next to the human-readable
+``benchmarks/results/E11.md`` table.
+
+The JSON also stores a *calibration* measurement (a fixed NumPy workload),
+so a later run on a different machine can scale the baseline before
+comparing: ``--check BASELINE.json`` fails (exit 1) when any stage is more
+than ``--factor`` (default 2.0) slower than the calibrated baseline — the
+CI ``perf-smoke`` job runs exactly that against the checked-in baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py            # full run
+    PYTHONPATH=src python benchmarks/bench_profile.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_profile.py --smoke \
+        --check benchmarks/results/BENCH_PR4.json                # regression
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro._version import __version__
+from repro.cograph import FlatCotree, random_cotree
+from repro.core.pipeline import Pipeline
+
+from _util import RESULTS_DIR, write_result_table
+
+#: (backend, n, repeats) grid of the full run; the pram simulator is
+#: wall-clock-expensive, so it keeps fewer repeats.
+FULL_GRID = [
+    ("fast", 1_000, 5),
+    ("fast", 10_000, 5),
+    ("fast", 100_000, 3),
+    ("pram", 1_000, 2),
+    ("pram", 10_000, 1),
+    ("pram", 100_000, 1),
+]
+#: the CI smoke configuration: one point, compared against the baseline.
+SMOKE_GRID = [("fast", 10_000, 3)]
+
+SEED = 7
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR4.json")
+COLUMNS = ["backend", "n", "input", "total_s"] + list(
+    Pipeline.default().stages)
+
+
+def calibrate() -> float:
+    """Seconds for a fixed NumPy workload — the machine-speed yardstick."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 1 << 30, size=1_000_000)
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(5):
+            order = np.argsort(a, kind="stable")
+            np.cumsum(a[order])
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def profile_once(tree, backend: str):
+    run = Pipeline.default().run(tree, backend)
+    return run.stage_seconds, run.total_seconds
+
+
+def profile(backend: str, n: int, repeats: int, input_form: str = "flat"):
+    """Best-of-``repeats`` per-stage seconds for one grid point."""
+    tree = random_cotree(n, seed=SEED)
+    if input_form == "flat":
+        tree = FlatCotree.from_cotree(tree)
+    stage_best = {}
+    total_best = float("inf")
+    for _ in range(repeats):
+        stages, total = profile_once(tree, backend)
+        for name, sec in stages.items():
+            stage_best[name] = min(stage_best.get(name, float("inf")), sec)
+        total_best = min(total_best, total)
+    return {"backend": backend, "n": n, "input_form": input_form,
+            "repeats": repeats,
+            "stage_seconds": {k: round(v, 6) for k, v in stage_best.items()},
+            "total_seconds": round(total_best, 6)}
+
+
+def run_grid(grid):
+    results = []
+    for backend, n, repeats in grid:
+        results.append(profile(backend, n, repeats))
+        print(f"  {backend:4s} n={n:>7} total={results[-1]['total_seconds']:.4f}s",
+              flush=True)
+    # one Cotree-input point so the conversion overhead stays visible
+    top_fast = max((g for g in grid if g[0] == "fast"), key=lambda g: g[1])
+    results.append(profile("fast", top_fast[1], top_fast[2],
+                           input_form="cotree"))
+    print(f"  fast n={top_fast[1]:>7} (Cotree input) "
+          f"total={results[-1]['total_seconds']:.4f}s", flush=True)
+    return results
+
+
+def check_against(base: dict, current: dict, factor: float) -> int:
+    """Compare ``current`` to the loaded baseline; return the exit code."""
+    scale = current["calibration_seconds"] / \
+        max(base["calibration_seconds"], 1e-9)
+    base_by_key = {(r["backend"], r["n"], r["input_form"]): r
+                   for r in base["results"]}
+    floor = 0.002            # ignore sub-2ms noise on tiny stages
+    failures = []
+    compared = 0
+    for row in current["results"]:
+        ref = base_by_key.get((row["backend"], row["n"], row["input_form"]))
+        if ref is None:
+            continue
+        for stage, sec in row["stage_seconds"].items():
+            budget = max(ref["stage_seconds"].get(stage, 0.0) * scale, floor)
+            compared += 1
+            if sec > factor * budget:
+                failures.append(
+                    f"{row['backend']} n={row['n']} stage {stage!r}: "
+                    f"{sec:.4f}s > {factor:.1f} x {budget:.4f}s")
+    if not compared:
+        print("perf-check: no comparable grid points in baseline", flush=True)
+        return 1
+    if failures:
+        print(f"perf-check FAILED ({len(failures)} regression(s), "
+              f"calibration scale {scale:.2f}):")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"perf-check OK: {compared} stage budgets within {factor:.1f}x "
+          f"(calibration scale {scale:.2f})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fast backend, n=10k only)")
+    parser.add_argument("--out", default=None,
+                        help=f"where to write the JSON profile (default "
+                             f"{DEFAULT_OUT}; --check runs that would "
+                             f"overwrite their own baseline divert to "
+                             f"BENCH_PR4.current.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a stored BENCH_*.json; exit 1 "
+                             "on any stage regressing past --factor")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown per stage (default 2.0)")
+    args = parser.parse_args(argv)
+
+    # Load the baseline BEFORE any writing: a --check run must never compare
+    # against a file this very invocation produced, nor clobber the
+    # checked-in baseline it is about to be judged by.
+    baseline = None
+    if args.check:
+        with open(args.check, encoding="utf8") as fh:
+            baseline = json.load(fh)
+    out = args.out or DEFAULT_OUT
+    if args.check and os.path.abspath(out) == os.path.abspath(args.check):
+        out = os.path.join(os.path.dirname(os.path.abspath(out)),
+                           "BENCH_PR4.current.json")
+        print(f"--out would overwrite the baseline under check; "
+              f"writing to {out} instead")
+
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    print(f"[E11] per-stage profile ({'smoke' if args.smoke else 'full'}):")
+    t0 = time.perf_counter()
+    payload = {
+        "schema": 1,
+        "experiment": "E11",
+        "version": __version__,
+        "seed": SEED,
+        "smoke": bool(args.smoke),
+        "calibration_seconds": round(calibrate(), 6),
+        "results": run_grid(grid),
+    }
+    payload["harness_seconds"] = round(time.perf_counter() - t0, 3)
+
+    os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
+    with open(out, "w", encoding="utf8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if not args.smoke:
+        rows = []
+        for r in payload["results"]:
+            row = {"backend": r["backend"], "n": r["n"],
+                   "input": r["input_form"],
+                   "total_s": round(r["total_seconds"], 4)}
+            for stage, sec in r["stage_seconds"].items():
+                row[stage] = round(sec, 4)
+            rows.append(row)
+        write_result_table("E11", "per-stage pipeline profile (seconds, "
+                           "best of repeats)", rows, COLUMNS)
+
+    if baseline is not None:
+        return check_against(baseline, payload, args.factor)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,17 @@ EXPERIMENTS: List[ExperimentSpec] = [
         ("repro.core.batch", "repro.api.solve", "repro.api.cache"),
         "benchmarks/bench_stream.py"),
     ExperimentSpec(
+        "E11", "flat-array hot path (engineering)",
+        "Per-stage wall-clock trajectory of the pipeline: the FlatCotree "
+        "CSR form plus the C-level DFS numbering kernel keep every stage "
+        "free of per-node Python loops; the end-to-end FastBackend solve "
+        "at n = 10^5 is >= 3x faster than the pre-flat hot path, and the "
+        "checked-in BENCH_PR4.json gives every future PR a per-stage "
+        "regression baseline.",
+        "random cotrees, n = 10^3 / 10^4 / 10^5, both backends",
+        ("repro.cograph.flat", "repro._dfs", "repro.core.pipeline"),
+        "benchmarks/bench_profile.py"),
+    ExperimentSpec(
         "A1", "leftist condition (ablation)",
         "Without the leftist reordering the 1-node recurrence stops being "
         "minimum: the produced covers are strictly larger on adversarial "

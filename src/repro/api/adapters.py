@@ -29,17 +29,23 @@ from typing import Any, Dict, Iterable, Optional, Union
 
 import numpy as np
 
-from ..cograph import BinaryCotree, Cotree, Graph, cotree_from_graph
+from ..cograph import (
+    BinaryCotree,
+    Cotree,
+    FlatCotree,
+    Graph,
+    cotree_from_graph,
+)
 from ..core import LowerBoundInstance, or_instance_cotree
 from ..io import cotree_from_text, load_json
 
 __all__ = ["Problem", "as_problem", "SOURCE_FORMATS"]
 
 #: every ``Problem.source_format`` value an adapter can produce.
-SOURCE_FORMATS = ("problem", "cotree", "binary_cotree", "graph", "edge_list",
-                  "adjacency", "text", "json", "bits")
+SOURCE_FORMATS = ("problem", "cotree", "flat_cotree", "binary_cotree",
+                  "graph", "edge_list", "adjacency", "text", "json", "bits")
 
-TreeLike = Union[Cotree, BinaryCotree]
+TreeLike = Union[Cotree, BinaryCotree, FlatCotree]
 
 
 @dataclass
@@ -72,8 +78,9 @@ class Problem:
     source: Optional[str] = None
     _cached_tree: Optional[TreeLike] = field(default=None, repr=False)
 
-    def cotree(self) -> TreeLike:
-        """The instance's cotree, converting from a graph if necessary.
+    def cotree(self) -> Union[Cotree, BinaryCotree]:
+        """The instance's cotree as a :class:`Cotree` / ``BinaryCotree``,
+        converting from a graph or a :class:`FlatCotree` if necessary.
 
         Raises
         ------
@@ -81,7 +88,9 @@ class Problem:
             when the underlying graph is not a cograph.
         """
         if self._cached_tree is None:
-            if self.tree is not None:
+            if isinstance(self.tree, FlatCotree):
+                self._cached_tree = self.tree.to_cotree()
+            elif self.tree is not None:
                 self._cached_tree = self.tree
             elif self.instance is not None:
                 self._cached_tree = self.instance.cotree
@@ -90,6 +99,14 @@ class Problem:
             else:  # pragma: no cover - constructors always set one
                 raise ValueError("empty Problem")
         return self._cached_tree
+
+    def pipeline_tree(self) -> TreeLike:
+        """The form the solver pipeline should consume: the original
+        :class:`FlatCotree` when the input already was flat (no conversion
+        on the hot path), otherwise :meth:`cotree`."""
+        if isinstance(self.tree, FlatCotree):
+            return self.tree
+        return self.cotree()
 
     @property
     def num_vertices(self) -> int:
@@ -128,6 +145,8 @@ def as_problem(obj: Any, *, task: Optional[str] = None) -> Problem:
         return obj
     if isinstance(obj, BinaryCotree):
         return Problem(source_format="binary_cotree", tree=obj)
+    if isinstance(obj, FlatCotree):
+        return Problem(source_format="flat_cotree", tree=obj)
     if isinstance(obj, Cotree):
         return Problem(source_format="cotree", tree=obj)
     if isinstance(obj, Graph):
@@ -220,7 +239,7 @@ def _from_array(arr: np.ndarray, task: Optional[str]) -> Problem:
         # ``max() arg is an empty sequence`` out of _edge_list
         raise ValueError(_EMPTY_INPUT_MESSAGE)
     if arr.ndim == 2 and arr.shape[1] == 2:
-        return _edge_list([(int(u), int(v)) for u, v in arr])
+        return _edge_array(arr)
     if arr.ndim == 1:
         return _bits(arr.tolist(), task)
     raise ValueError(f"array of shape {arr.shape} is not a problem; "
@@ -241,21 +260,27 @@ def _from_sequence(seq, task: Optional[str]) -> Problem:
     if all(_is_int(x) for x in items):
         return _bits(items, task)
     if all(_is_pair(x) for x in items):
-        return _edge_list([(int(u), int(v)) for u, v in items])
+        return _edge_array(np.asarray([[int(u), int(v)] for u, v in items],
+                                      dtype=np.int64))
     raise ValueError(
         "sequence input must be either an edge list (pairs, e.g. "
         "[(0, 1), (1, 2)]) or, for task='lower_bound', a flat 0/1 bit "
         "vector (e.g. [1, 0, 1])")
 
 
-def _edge_list(edges) -> Problem:
-    bad = [(u, v) for u, v in edges if u < 0 or v < 0]
-    if bad:
+def _edge_array(edges: np.ndarray) -> Problem:
+    """Vectorized edge-list adapter: validation, vertex count and adjacency
+    construction are NumPy operations — no per-edge Python loop."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if np.any(edges < 0):
+        bad = edges[np.any(edges < 0, axis=1)][0]
         raise ValueError(
-            f"edge list contains negative vertex id(s) (e.g. {bad[0]}); "
-            f"vertices must be numbered 0, 1, 2, ...")
-    n = max(max(u, v) for u, v in edges) + 1
-    return Problem(source_format="edge_list", graph=Graph(n, edges))
+            f"edge list contains negative vertex id(s) (e.g. "
+            f"({int(bad[0])}, {int(bad[1])})); vertices must be numbered "
+            f"0, 1, 2, ...")
+    n = int(edges.max()) + 1
+    return Problem(source_format="edge_list",
+                   graph=Graph.from_edge_array(n, edges))
 
 
 def _bits(values, task: Optional[str]) -> Problem:

@@ -27,10 +27,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..cograph import BinaryCotree, Cotree, NotACographError
-from ..cograph.cotree import LEAF, UNION
+from ..cograph import BinaryCotree, Cotree, FlatCotree, NotACographError
+from ..cograph.flat import canonical_key
 
 __all__ = ["SolutionCache", "canonical_cotree_key"]
 
@@ -41,24 +41,18 @@ def canonical_cotree_key(tree) -> Tuple:
     Two cotrees get the same key iff they represent the same labelled
     cograph: the tree is canonicalised (unary nodes spliced, same-label
     children merged — properties (4) and (5)) and every node's children are
-    sorted, so child order — which is meaningless for union/join — never
-    splits the key.  Vertex ids *do* matter (covers name vertices).
+    ordered by the minimum vertex id of their subtree, so child order —
+    which is meaningless for union/join — never splits the key.  Vertex ids
+    *do* matter (covers name vertices).
+
+    The computation is the iterative, array-based kernel of
+    :func:`repro.cograph.flat.canonical_key`: no recursion (arbitrarily
+    deep cotrees are safe — a depth-5000 caterpillar is a regression test)
+    and ``O(n log n)`` array work instead of per-node Python tuples.
     """
-    if isinstance(tree, BinaryCotree):
-        tree = tree.to_cotree()
-    if not isinstance(tree, Cotree):
+    if not isinstance(tree, (Cotree, BinaryCotree, FlatCotree)):
         raise TypeError(f"expected a cotree, got {type(tree).__name__}")
-    if not tree.is_canonical() and tree.num_vertices > 1:
-        tree = tree.canonicalize()
-    key: Dict[int, Any] = {}
-    for u in tree.postorder():
-        if tree.kind[u] == LEAF:
-            key[u] = int(tree.leaf_vertex[u])
-        else:
-            op = "+" if tree.kind[u] == UNION else "*"
-            children = sorted((key[c] for c in tree.children[u]), key=repr)
-            key[u] = (op, *children)
-    return ("cotree", key[tree.root])
+    return canonical_key(tree)
 
 
 class SolutionCache:
@@ -82,7 +76,7 @@ class SolutionCache:
         self.maxsize = int(maxsize)
         self.hits = 0
         self.misses = 0
-        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # keying
@@ -102,7 +96,7 @@ class SolutionCache:
                 "bits", tuple(int(b) for b in problem.instance.bits))
         else:
             try:
-                problem_key = canonical_cotree_key(problem.cotree())
+                problem_key = canonical_cotree_key(problem.pipeline_tree())
             except NotACographError:
                 return None
         options_key = tuple(sorted(options.to_dict().items()))

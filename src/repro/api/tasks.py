@@ -55,8 +55,8 @@ def _cover_solver(options: SolveOptions):
 def _solve_cover(problem: Problem, options: SolveOptions,
                  task: str) -> Solution:
     """Run the configured cover engine and wrap the outcome."""
-    tree = problem.cotree()
     if options.method == "sequential":
+        tree = problem.cotree()
         cover = sequential_path_cover(tree)
         if options.validate:
             cover.validate(CographAdjacencyOracle(tree),
@@ -66,7 +66,10 @@ def _solve_cover(problem: Problem, options: SolveOptions,
         return Solution(task=task, answer=cover, backend="sequential",
                         options=options, cover=cover,
                         num_paths=cover.num_paths)
-    result = minimum_path_cover_parallel(tree, **options.solver_kwargs())
+    # the parallel pipeline consumes FlatCotree inputs natively — no
+    # object-per-node conversion on the hot path
+    result = minimum_path_cover_parallel(problem.pipeline_tree(),
+                                         **options.solver_kwargs())
     return Solution(task=task, answer=result.cover, backend=result.backend,
                     options=options, cover=result.cover,
                     num_paths=result.num_paths, report=result.report,

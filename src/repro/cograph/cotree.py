@@ -374,15 +374,19 @@ class Cotree:
 
         Property (4): every internal node has at least two children.
         Property (5): labels alternate along every root-to-leaf path, i.e. no
-        internal node has a child with the same label.
+        internal node has a child with the same label.  (Vectorized: child
+        counts via one bincount, label alternation via the parent array.)
         """
-        for u in self.internal_nodes:
-            if len(self.children[u]) < 2:
-                return False
-            for c in self.children[u]:
-                if self.kind[c] != LEAF and self.kind[c] == self.kind[u]:
-                    return False
-        return True
+        internal = self.internal_nodes
+        if internal.size == 0:
+            return True
+        has_parent = self.parent != -1
+        deg = np.bincount(self.parent[has_parent], minlength=self.num_nodes)
+        if np.any(deg[internal] < 2):
+            return False
+        child = np.flatnonzero(has_parent & (self.kind != LEAF))
+        return not bool(np.any(self.kind[child] ==
+                               self.kind[self.parent[child]]))
 
     def canonicalize(self) -> "Cotree":
         """Return an equivalent canonical cotree.
@@ -484,6 +488,11 @@ class Cotree:
             op = "union" if self.kind[u] == UNION else "join"
             return tuple([op] + [rec(c) for c in self.children[u]])
         return rec(self.root)
+
+    def to_flat(self):
+        """This tree in :class:`~repro.cograph.flat.FlatCotree` (CSR) form."""
+        from .flat import FlatCotree
+        return FlatCotree.from_cotree(self)
 
     def relabel_vertices(self, mapping: dict) -> "Cotree":
         """Return a copy with vertex ids replaced according to ``mapping``."""

@@ -1,0 +1,406 @@
+"""Flat (CSR) cotree — the canonical in-memory form of the hot path.
+
+:class:`FlatCotree` stores an arbitrary-arity cotree as five NumPy arrays
+(kinds, CSR child offsets/indices, parents, leaf vertex ids) instead of the
+object-per-node ``children`` lists of :class:`~repro.cograph.cotree.Cotree`.
+Every pipeline stage, the input adapters and the solution cache operate on
+this struct-of-arrays layout directly, so no per-node Python objects are
+touched between "instance adapted" and "cover extracted".
+
+The module also hosts the *iterative* canonical-form kernel:
+
+* :meth:`FlatCotree.canonicalize` restores cotree properties (4) and (5)
+  (no unary internal nodes, alternating labels) with pointer-jumping over
+  arrays — ``O(log n)`` vectorized rounds, no recursion, no fixpoint loop
+  over Python lists;
+* :func:`canonical_key` produces a hashable canonical form (children ordered
+  by their minimum leaf vertex, serialised as preorder byte strings) shared
+  by :class:`~repro.api.cache.SolutionCache` and the equality helpers.
+  Unlike the old recursive nested-tuple key it survives arbitrarily deep
+  trees (a depth-5000 caterpillar is a regression test) and costs
+  ``O(n log n)`` array work instead of quadratic ``repr``-sorting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .._dfs import (
+    HAVE_SPARSE_DFS as _HAVE_SPARSE_DFS,
+    chase_pointers as _chase,
+    depth_by_doubling as _depth_by_doubling,
+)
+from .cotree import LEAF, Cotree, CotreeError
+
+if _HAVE_SPARSE_DFS:  # pragma: no branch - scipy ships in CI and dev
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import depth_first_order as _depth_first_order
+
+__all__ = ["FlatCotree", "as_flat_cotree", "canonical_key"]
+
+
+class FlatCotree:
+    """An arbitrary-arity rooted cotree in CSR struct-of-arrays form.
+
+    Attributes
+    ----------
+    kind:
+        ``int8`` array of node kinds (:data:`~repro.cograph.cotree.LEAF` /
+        ``UNION`` / ``JOIN``).
+    child_offset:
+        ``int64`` array of length ``num_nodes + 1``; the children of node
+        ``u`` are ``child_index[child_offset[u]:child_offset[u + 1]]``.
+    child_index:
+        flattened children array (CSR indices).
+    parent:
+        parent node of every node (``-1`` at the root).
+    leaf_vertex:
+        vertex id carried by each leaf (``-1`` for internal nodes).
+    root:
+        root node id.
+    """
+
+    __slots__ = ("kind", "child_offset", "child_index", "parent",
+                 "leaf_vertex", "root")
+
+    def __init__(self, kind, child_offset, child_index, parent, leaf_vertex,
+                 root: int) -> None:
+        self.kind = np.asarray(kind, dtype=np.int8)
+        self.child_offset = np.asarray(child_offset, dtype=np.int64)
+        self.child_index = np.asarray(child_index, dtype=np.int64)
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.leaf_vertex = np.asarray(leaf_vertex, dtype=np.int64)
+        self.root = int(root)
+        n = len(self.kind)
+        if len(self.child_offset) != n + 1:
+            raise CotreeError("child_offset must have num_nodes + 1 entries")
+        if not (len(self.parent) == n == len(self.leaf_vertex)):
+            raise CotreeError("kind, parent and leaf_vertex must have the "
+                              "same length")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_cotree(cls, tree) -> "FlatCotree":
+        """Convert a :class:`Cotree` or ``BinaryCotree`` (one linear pass)."""
+        from .binary import BinaryCotree
+        if isinstance(tree, FlatCotree):
+            return tree
+        if isinstance(tree, BinaryCotree):
+            n = tree.num_nodes
+            counts = ((tree.left != -1).astype(np.int64)
+                      + (tree.right != -1).astype(np.int64))
+            offset = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=offset[1:])
+            index = np.empty(int(offset[-1]), dtype=np.int64)
+            has_l = np.flatnonzero(tree.left != -1)
+            has_r = np.flatnonzero(tree.right != -1)
+            index[offset[has_l]] = tree.left[has_l]
+            index[offset[has_r] + (tree.left[has_r] != -1)] = tree.right[has_r]
+            return cls(tree.kind, offset, index, tree.parent,
+                       tree.leaf_vertex, tree.root)
+        if not isinstance(tree, Cotree):
+            raise TypeError(f"cannot convert {type(tree).__name__} to "
+                            f"FlatCotree")
+        n = tree.num_nodes
+        counts = np.fromiter(map(len, tree.children), dtype=np.int64, count=n)
+        offset = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offset[1:])
+        total = int(offset[-1])
+        flat: List[int] = []
+        for c in tree.children:
+            flat += c
+        index = np.asarray(flat, dtype=np.int64) if total else \
+            np.empty(0, dtype=np.int64)
+        return cls(tree.kind, offset, index, tree.parent, tree.leaf_vertex,
+                   tree.root)
+
+    def to_cotree(self) -> Cotree:
+        """Convert back to a list-of-lists :class:`Cotree` (same node ids and
+        child order)."""
+        flat = self.child_index.tolist()
+        bounds = self.child_offset.tolist()
+        children = [flat[bounds[u]:bounds[u + 1]]
+                    for u in range(self.num_nodes)]
+        return Cotree(self.kind, children, self.leaf_vertex, self.root)
+
+    def copy(self) -> "FlatCotree":
+        return FlatCotree(self.kind.copy(), self.child_offset.copy(),
+                          self.child_index.copy(), self.parent.copy(),
+                          self.leaf_vertex.copy(), self.root)
+
+    # ------------------------------------------------------------------ #
+    # basic properties (mirror the Cotree surface)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of cotree nodes."""
+        return len(self.kind)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of cograph vertices (= leaves)."""
+        return int(np.count_nonzero(self.kind == LEAF))
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Array of leaf node ids."""
+        return np.flatnonzero(self.kind == LEAF)
+
+    @property
+    def internal_nodes(self) -> np.ndarray:
+        """Array of internal node ids."""
+        return np.flatnonzero(self.kind != LEAF)
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Sorted array of vertex ids."""
+        return np.sort(self.leaf_vertex[self.kind == LEAF])
+
+    def degrees(self) -> np.ndarray:
+        """Child count of every node."""
+        return np.diff(self.child_offset)
+
+    def children_of(self, node: int) -> np.ndarray:
+        """Children of ``node`` (a CSR slice view)."""
+        return self.child_index[self.child_offset[node]:
+                                self.child_offset[node + 1]]
+
+    # ------------------------------------------------------------------ #
+    # canonical form (vectorized)
+    # ------------------------------------------------------------------ #
+
+    def is_canonical(self) -> bool:
+        """Vectorized check of cotree properties (4) and (5)."""
+        internal = self.kind != LEAF
+        if not internal.any():
+            return True
+        deg = self.degrees()
+        if np.any(deg[internal] < 2):
+            return False
+        # no internal child shares its parent's label
+        child = np.flatnonzero((self.parent != -1) & internal)
+        return not bool(np.any(self.kind[child] ==
+                               self.kind[self.parent[child]]))
+
+    def canonicalize(self) -> "FlatCotree":
+        """Equivalent canonical cotree via pointer jumping (no recursion).
+
+        Phase A splices out unary internal nodes (their child count is
+        invariant under splicing, so "unary" can be read off the input);
+        phase B merges maximal same-label clusters of the spliced tree into
+        their topmost node.  Both phases are ``O(log n)`` rounds of array
+        jumps.  Children of the result are ordered by original node id.
+        """
+        n = self.num_nodes
+        kind = self.kind
+        parent = self.parent
+        internal = kind != LEAF
+        deg = self.degrees()
+        unary = internal & (deg == 1)
+
+        # ---- phase A: nearest non-unary ancestor-or-self ----------------- #
+        # g(v) = v for kept nodes, parent(v) for unary nodes; chase to the
+        # fixpoint.  A unary chain above the root resolves to -1, which makes
+        # its first non-unary descendant the new root.
+        g = np.where(unary, parent, np.arange(n, dtype=np.int64))
+        g = _chase(g)
+        kept = ~unary
+        # effective parent in the spliced tree
+        ep = np.full(n, -1, dtype=np.int64)
+        has_p = parent != -1
+        ep[has_p] = g[parent[has_p]]
+
+        # ---- phase B: same-label cluster tops ----------------------------- #
+        idx = np.flatnonzero(kept & internal & (ep != -1))
+        same = np.zeros(n, dtype=bool)
+        same[idx] = kind[ep[idx]] == kind[idx]
+        h = np.where(same, ep, np.arange(n, dtype=np.int64))
+        top = _chase(h)
+
+        survives = kept & ~same
+        # final parent of every surviving node: the cluster top of its
+        # effective parent
+        fp = np.full(n, -1, dtype=np.int64)
+        sv = np.flatnonzero(survives)
+        sv_ep = ep[sv]
+        with_p = sv_ep != -1
+        fp[sv[with_p]] = top[sv_ep[with_p]]
+
+        # ---- compaction --------------------------------------------------- #
+        remap = np.full(n, -1, dtype=np.int64)
+        remap[sv] = np.arange(len(sv), dtype=np.int64)
+        new_kind = kind[sv]
+        new_parent = np.where(fp[sv] != -1, remap[np.maximum(fp[sv], 0)], -1)
+        new_leaf_vertex = self.leaf_vertex[sv]
+        m = len(sv)
+        # children grouped by new parent, ordered by old node id (np.argsort
+        # with a stable kind keeps ties deterministic; sv is already sorted,
+        # so sorting by parent alone with a stable sort preserves id order)
+        child_nodes = np.flatnonzero(new_parent != -1)
+        order = child_nodes[np.argsort(new_parent[child_nodes],
+                                       kind="stable")]
+        counts = np.bincount(new_parent[child_nodes], minlength=m)
+        offset = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(counts, out=offset[1:])
+        roots = np.flatnonzero(new_parent == -1)
+        if len(roots) != 1:  # pragma: no cover - structural invariant
+            raise CotreeError("canonicalize produced a forest")
+        return FlatCotree(new_kind, offset, order, new_parent,
+                          new_leaf_vertex, int(roots[0]))
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FlatCotree(num_vertices={self.num_vertices}, "
+                f"num_nodes={self.num_nodes})")
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality of the rooted, ordered trees."""
+        if not isinstance(other, FlatCotree):
+            return NotImplemented
+        return (self.root == other.root
+                and np.array_equal(self.kind, other.kind)
+                and np.array_equal(self.child_offset, other.child_offset)
+                and np.array_equal(self.child_index, other.child_index)
+                and np.array_equal(self.leaf_vertex, other.leaf_vertex))
+
+    def __hash__(self) -> int:
+        return hash(canonical_key(self))
+
+
+def as_flat_cotree(tree) -> FlatCotree:
+    """Coerce a ``Cotree`` / ``BinaryCotree`` / ``FlatCotree`` to flat form."""
+    return FlatCotree.from_cotree(tree)
+
+
+# --------------------------------------------------------------------------- #
+# array kernels
+# --------------------------------------------------------------------------- #
+
+def _preorder_with_sibling_keys(parent: np.ndarray, root: int,
+                                sibling_key: np.ndarray) -> np.ndarray:
+    """Preorder numbers of an n-ary tree visiting siblings by ascending key.
+
+    Uses the C-level sparse DFS when scipy is present (after relabelling the
+    nodes so that id order realises the requested sibling order), otherwise
+    an explicit-stack traversal — both recursion-free.
+    """
+    n = len(parent)
+    order = np.lexsort((sibling_key, parent))   # children grouped per parent
+    if _HAVE_SPARSE_DFS and n > 1:
+        pi = np.empty(n, dtype=np.int64)
+        pi[order] = np.arange(n, dtype=np.int64)
+        child = np.flatnonzero(parent != -1)
+        rows = pi[parent[child]]
+        cols = pi[child]
+        g = _csr_matrix((np.ones(len(child), dtype=np.int8), (rows, cols)),
+                        shape=(n, n))
+        seq = _depth_first_order(g, int(pi[root]), directed=True,
+                                 return_predecessors=False)
+        if len(seq) == n:
+            pre_new = np.empty(n, dtype=np.int64)
+            pre_new[np.asarray(seq, dtype=np.int64)] = np.arange(
+                n, dtype=np.int64)
+            return pre_new[pi]
+        # fall through (unreachable nodes) to the stack traversal
+    # CSR of children in sibling-key order for the explicit stack
+    child_sorted = order[parent[order] != -1]
+    counts = np.bincount(parent[child_sorted], minlength=n)
+    offset = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offset[1:])
+    kids = child_sorted.tolist()
+    bounds = offset.tolist()
+    pre = np.empty(n, dtype=np.int64)
+    stack = [int(root)]
+    k = 0
+    while stack:
+        u = stack.pop()
+        pre[u] = k
+        k += 1
+        stack.extend(reversed(kids[bounds[u]:bounds[u + 1]]))
+    return pre
+
+
+def _subtree_min_vertex(flat: FlatCotree, depth: np.ndarray) -> np.ndarray:
+    """Minimum leaf vertex id in every node's subtree (height-independent).
+
+    Two DFS passes (siblings by ascending, then descending, node id) give
+    preorder and — via ``post = n - 1 - mirrored_pre`` — postorder, hence
+    ``size = post - pre + depth + 1`` and the contiguous preorder interval
+    of every subtree; a doubling sparse table then answers all the interval
+    minima at once.  ``O(n log n)`` array work, no per-level loop, so deep
+    caterpillars cost the same as balanced trees.
+    """
+    n = flat.num_nodes
+    parent = flat.parent
+    ids = np.arange(n, dtype=np.int64)
+    pre = _preorder_with_sibling_keys(parent, flat.root, ids)
+    mpre = _preorder_with_sibling_keys(parent, flat.root, -ids)
+    post = n - 1 - mpre
+    size = post - pre + depth + 1
+
+    by_pre = np.empty(n, dtype=np.int64)
+    by_pre[pre] = ids                                # node at preorder slot
+    INF = np.int64(2 ** 62)
+    values = np.where(flat.kind[by_pre] == LEAF,
+                      flat.leaf_vertex[by_pre], INF)
+
+    # sparse table: tables[k][i] = min(values[i : i + 2**k])
+    tables = [values]
+    while (1 << len(tables)) <= n:
+        span = 1 << (len(tables) - 1)
+        prev = tables[-1]
+        tables.append(np.minimum(prev[:-span], prev[span:]))
+
+    # range minimum over [pre, pre + size): two overlapping power-of-two
+    # windows, grouped by window level
+    k = np.zeros(n, dtype=np.int64)
+    big = size > 1
+    k[big] = np.floor(np.log2(size[big].astype(np.float64))).astype(np.int64)
+    out = np.empty(n, dtype=np.int64)
+    for kk in np.unique(k):
+        sel = np.flatnonzero(k == kk)
+        tbl = tables[int(kk)]
+        span = np.int64(1) << int(kk)
+        out[sel] = np.minimum(tbl[pre[sel]],
+                              tbl[pre[sel] + size[sel] - span])
+    return out
+
+
+def canonical_key(tree) -> Tuple:
+    """A hashable canonical form of a cotree (iterative, array-based).
+
+    Two cotrees get the same key iff they represent the same labelled
+    cograph: the tree is canonicalised (properties (4) and (5)) and every
+    node's children are ordered by the minimum vertex id in their subtree —
+    sibling subtrees have disjoint leaf sets, so this order is total and
+    independent of the input's child order.  The ordered canonical tree is
+    then serialised as its preorder kind/depth/vertex sequences, which
+    reconstruct it uniquely.
+
+    Accepts :class:`Cotree`, ``BinaryCotree`` and :class:`FlatCotree`
+    inputs; never recurses, so arbitrarily deep trees are safe.
+    """
+    flat = FlatCotree.from_cotree(tree)
+    if flat.num_vertices > 1 and not flat.is_canonical():
+        flat = flat.canonicalize()
+    n = flat.num_nodes
+    if n == 1:
+        return ("cotree", 1, int(flat.leaf_vertex[flat.root]))
+    depth = _depth_by_doubling(flat.parent)
+    minv = _subtree_min_vertex(flat, depth)
+    pre = _preorder_with_sibling_keys(flat.parent, flat.root, minv)
+    by_pre = np.empty(n, dtype=np.int64)
+    by_pre[pre] = np.arange(n, dtype=np.int64)
+    return ("cotree", n,
+            flat.kind[by_pre].tobytes(),
+            depth[by_pre].astype(np.int64).tobytes(),
+            flat.leaf_vertex[by_pre].astype(np.int64).tobytes())

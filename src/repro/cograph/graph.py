@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
+import numpy as np
+
 __all__ = ["Graph"]
 
 
@@ -39,16 +41,56 @@ class Graph:
 
         One-sided listings are accepted: a vertex may appear only as a
         neighbour (``{0: [1, 2]}`` is the 3-vertex star/path ``1-0-2``).
+        The neighbour lists are flattened into one edge array and routed
+        through :meth:`from_edge_array`, so no per-edge Python loop runs.
         """
-        adj = {u: list(nbrs) for u, nbrs in adj.items()}
-        vertices = set(adj)
-        for nbrs in adj.values():
-            vertices.update(nbrs)
-        n = (max(vertices) + 1) if vertices else 0
+        values = [list(nbrs) for nbrs in adj.values()]   # per-vertex, not
+        keys = np.fromiter(adj.keys(), dtype=np.int64,   # per-edge work
+                           count=len(adj))
+        lengths = np.fromiter(map(len, values), dtype=np.int64,
+                              count=len(values))
+        flat: List[int] = []
+        for nbrs in values:
+            flat += nbrs
+        cols = np.asarray(flat, dtype=np.int64) if flat else \
+            np.empty(0, dtype=np.int64)
+        rows = np.repeat(keys, lengths)
+        n = 0
+        if len(keys):
+            n = max(n, int(keys.max()) + 1)
+        if len(cols):
+            n = max(n, int(cols.max()) + 1)
+        edges = np.stack([rows, cols], axis=1) if len(rows) else \
+            np.empty((0, 2), dtype=np.int64)
+        return cls.from_edge_array(n, edges)
+
+    @classmethod
+    def from_edge_array(cls, n: int, edges) -> "Graph":
+        """Build from an ``(m, 2)`` integer array without per-edge Python.
+
+        Validation (range, self-loops), symmetrisation and deduplication are
+        NumPy operations; the adjacency sets are assembled from one C-level
+        ``tolist`` with per-vertex slices.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         g = cls(n)
-        for u, nbrs in adj.items():
-            for v in nbrs:
-                g.add_edge(u, v)
+        if len(edges) == 0:
+            return g
+        if np.any(edges < 0) or np.any(edges >= n):
+            u, v = next((int(u), int(v)) for u, v in edges
+                        if u < 0 or v < 0 or u >= n or v >= n)
+            raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+        if np.any(edges[:, 0] == edges[:, 1]):
+            raise ValueError("self-loops are not allowed")
+        both = np.concatenate([edges, edges[:, ::-1]])
+        order = np.lexsort((both[:, 1], both[:, 0]))
+        both = both[order]
+        counts = np.bincount(both[:, 0], minlength=n)
+        bounds = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        flat = both[:, 1].tolist()
+        b = bounds.tolist()
+        g.adj = [set(flat[b[u]:b[u + 1]]) for u in range(n)]
         return g
 
     @classmethod

@@ -16,19 +16,19 @@ the paper.
 
 from __future__ import annotations
 
-from itertools import chain
+from typing import Union
 
 import numpy as np
 
 from ..backends import resolve_context
-from ..cograph import BinaryCotree, Cotree, CotreeError
+from ..cograph import BinaryCotree, Cotree, CotreeError, FlatCotree
 from ..cograph.cotree import LEAF
 from ..primitives import prefix_sum
 
 __all__ = ["binarize_parallel"]
 
 
-def binarize_parallel(ctx, tree: Cotree, *,
+def binarize_parallel(ctx, tree: Union[Cotree, FlatCotree], *,
                       label: str = "binarize") -> BinaryCotree:
     """Binarize a (canonical) cotree with PRAM accounting.
 
@@ -37,8 +37,9 @@ def binarize_parallel(ctx, tree: Cotree, *,
     ctx:
         execution context (or a raw PRAM machine / backend name / ``None``).
     tree:
-        the input cotree; every internal node must have at least two
-        children.
+        the input cotree — a :class:`Cotree` or, on the hot path, a
+        :class:`FlatCotree` whose CSR arrays are consumed directly; every
+        internal node must have at least two children.
 
     Returns
     -------
@@ -46,13 +47,13 @@ def binarize_parallel(ctx, tree: Cotree, *,
         the binarized cotree ``Tb(G)``.
     """
     machine = resolve_context(ctx)
-    n_old = tree.num_nodes
-    if tree.num_vertices == 0:
+    flat = FlatCotree.from_cotree(tree)
+    n_old = flat.num_nodes
+    if flat.num_vertices == 0:
         raise CotreeError("cannot binarize an empty cotree")
 
-    kind_old = np.asarray(tree.kind, dtype=np.int64)
-    child_count = np.fromiter((len(c) for c in tree.children),
-                              dtype=np.int64, count=n_old)
+    kind_old = np.asarray(flat.kind, dtype=np.int64)
+    child_count = flat.degrees()
     internal = kind_old != LEAF
     if np.any(internal & (child_count < 2)):
         raise CotreeError("binarize_parallel requires every internal node to "
@@ -63,8 +64,7 @@ def binarize_parallel(ctx, tree: Cotree, *,
                                    label=f"{label}.csr")
     child_offset = child_offset_incl - child_count
     total_children = int(child_offset_incl[-1]) if n_old else 0
-    child_index = np.fromiter(chain.from_iterable(tree.children),
-                              dtype=np.int64, count=total_children)
+    child_index = flat.child_index
     # position among siblings: index within the CSR segment
     child_pos_of = np.zeros(n_old, dtype=np.int64)
     child_pos_of[child_index] = np.arange(total_children, dtype=np.int64) - \
@@ -96,7 +96,7 @@ def binarize_parallel(ctx, tree: Cotree, *,
         # node's label in the wiring step below.
         leaf_nodes = np.flatnonzero(~internal)
         kind_new[rep[leaf_nodes]] = LEAF
-        leaf_vertex_new[rep[leaf_nodes]] = np.asarray(tree.leaf_vertex)[leaf_nodes]
+        leaf_vertex_new[rep[leaf_nodes]] = flat.leaf_vertex[leaf_nodes]
 
     # chain wiring: for original internal node u with children c_0..c_{k-1}
     # and chain nodes q_0..q_{k-2} (= first_new_id[u] .. rep[u]):
@@ -105,7 +105,7 @@ def binarize_parallel(ctx, tree: Cotree, *,
     # Every child c of u knows its position i = child_pos_of[c], so each
     # child writes exactly one child pointer: this is one parallel step over
     # all children.
-    parent_old = np.asarray(tree.parent, dtype=np.int64)
+    parent_old = flat.parent
     all_children = np.flatnonzero(parent_old != -1)
     with machine.step(active=max(1, len(all_children)), label=f"{label}:wire"):
         u_of = parent_old[all_children]
@@ -146,7 +146,7 @@ def binarize_parallel(ctx, tree: Cotree, *,
         parent_new[left_new[has_l]] = has_l
         parent_new[right_new[has_r]] = has_r
 
-    root_new = int(rep[tree.root])
+    root_new = int(rep[flat.root])
     out = BinaryCotree(kind_new, left_new, right_new, parent_new,
                        leaf_vertex_new, root_new)
     if machine.simulates:

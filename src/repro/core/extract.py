@@ -52,9 +52,9 @@ def extract_paths(ctx, forest: PathForest, *,
     with machine.step(active=num_real, label=f"{label}:permute"):
         order[inorder] = np.arange(num_real)
 
-    paths = []
-    for i, root in enumerate(roots):
-        a = int(starts[i])
-        b = a + int(sizes[i])
-        paths.append([int(v) for v in order[a:b]])
+    # materialise the cover with C-level slicing: one tolist for the whole
+    # permutation, then per-path list slices (no per-node Python work)
+    flat = order.tolist()
+    bounds = starts.tolist() + [num_real]
+    paths = [flat[bounds[i]:bounds[i + 1]] for i in range(len(roots))]
     return PathCover(paths)

@@ -74,8 +74,10 @@ def leftist_reorder(ctx, tree: BinaryCotree, *,
         out.left = left_arr.data
         out.right = right_arr.data
 
-    # renumber after the swap (inorder changes; L(u) and depth do not)
+    # renumber after the swap (inorder changes; L(u) and depth do not, so
+    # the depths are handed back in)
     numbers2 = compute_tree_numbers(machine, out.left, out.right, out.parent,
                                     [out.root], work_efficient=work_efficient,
+                                    known_depth=numbers.depth,
                                     label=f"{label}.renumber")
     return LeftistCotree(tree=out, numbers=numbers2)

@@ -227,7 +227,10 @@ def legalize_forest(ctx, forest: PathForest,
 
     # pair the k-th illegal insert with the k-th legal dummy of the same
     # owner (ordered by inorder position); the counting argument of Section 4
-    # guarantees enough legal dummies exist.
+    # guarantees enough legal dummies exist.  Segmented matching: with both
+    # sides sorted by (owner, inorder), insert number j of an owner block
+    # picks dummy number j of the same owner's block — two searchsorted
+    # calls instead of a Python loop over owners.
     def sort_by_owner(nodes: np.ndarray) -> np.ndarray:
         order = np.lexsort((inorder[nodes], node_owner[nodes]))
         return nodes[order]
@@ -237,19 +240,19 @@ def legalize_forest(ctx, forest: PathForest,
     ins_owner = node_owner[ins_sorted]
     dum_owner = node_owner[dum_sorted]
 
-    pairs_x = []
-    pairs_d = []
-    for owner in np.unique(ins_owner):
-        xs = ins_sorted[ins_owner == owner]
-        ds = dum_sorted[dum_owner == owner]
-        if len(ds) < len(xs):  # pragma: no cover - structural invariant
-            raise AssertionError(
-                f"owner {owner}: {len(xs)} illegal inserts but only "
-                f"{len(ds)} legal dummies")
-        pairs_x.append(xs)
-        pairs_d.append(ds[:len(xs)])
-    x = np.concatenate(pairs_x)
-    d = np.concatenate(pairs_d)
+    within_owner = np.arange(len(ins_sorted)) - \
+        np.searchsorted(ins_owner, ins_owner, side="left")
+    d_idx = np.searchsorted(dum_owner, ins_owner, side="left") + within_owner
+    bad = d_idx >= len(dum_sorted)
+    if not bad.all():
+        ok = ~bad
+        bad[ok] = dum_owner[d_idx[ok]] != ins_owner[ok]
+    if np.any(bad):  # pragma: no cover - structural invariant
+        owner = int(ins_owner[np.flatnonzero(bad)[0]])
+        raise AssertionError(
+            f"owner {owner}: more illegal inserts than legal dummies")
+    x = ins_sorted
+    d = dum_sorted[d_idx]
 
     # exchange positions (subtrees travel with their roots)
     parent = forest.parent
@@ -301,10 +304,11 @@ def remove_dummies(ctx, forest: PathForest, *,
         raise AssertionError("a dummy vertex became a path-tree root")
 
     # replacement of a dummy: follow right-child links through dummies
+    # (pointer-jumping compaction — O(log n) rounds, no per-node work)
     rep = machine.array(forest.right.copy(), name=f"{label}.rep")
     max_rounds = max(1, int(np.ceil(np.log2(max(forest.num_nodes, 2)))) + 1)
+    dummies = np.flatnonzero(is_dummy)
     for _ in range(max_rounds):
-        dummies = np.flatnonzero(is_dummy)
         cur = rep.data[dummies]
         needs_jump = (cur != -1) & (cur >= num_real)
         if not needs_jump.any():

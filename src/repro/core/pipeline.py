@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..backends import ExecutionContext, resolve_context
-from ..cograph import BinaryCotree, Cotree, PathCover
+from ..cograph import BinaryCotree, Cotree, FlatCotree, PathCover
 from .binarize import binarize_parallel
 from .brackets import BracketSequence, generate_brackets
 from .extract import extract_paths
@@ -59,7 +59,7 @@ class PipelineState:
 
     ctx: ExecutionContext
     work_efficient: bool = True
-    general: Optional[Cotree] = None
+    general: Optional[Union[Cotree, FlatCotree]] = None
     binary: Optional[BinaryCotree] = None
     leftist: Optional[LeftistCotree] = None
     reduced: Optional[ReducedCotree] = None
@@ -224,7 +224,8 @@ class Pipeline:
 
     # -- execution -------------------------------------------------------- #
 
-    def run(self, tree: Union[Cotree, BinaryCotree], ctx=None, *,
+    def run(self, tree: Union[Cotree, FlatCotree, BinaryCotree],
+            ctx=None, *,
             work_efficient: bool = True,
             collect_timings: bool = True) -> PipelineRun:
         """Execute the selected stages on ``tree``.
@@ -232,8 +233,9 @@ class Pipeline:
         Parameters
         ----------
         tree:
-            a general (canonical) cotree, or an already-binarized cotree
-            (which makes the ``binarize`` stage a no-op).
+            a general (canonical) cotree — as a :class:`Cotree` or, on the
+            hot path, a :class:`FlatCotree` — or an already-binarized
+            cotree (which makes the ``binarize`` stage a no-op).
         ctx:
             execution context — anything
             :func:`~repro.backends.resolve_context` accepts.

@@ -139,9 +139,14 @@ def reduce_cotree(ctx, leftist: LeftistCotree, *,
     marked = np.zeros(n_nodes, dtype=bool)
     joins = np.flatnonzero(kind == JOIN)
     marked[tree.right[joins]] = True
+    # Off the simulator the leftist stage's tour (same tree, same root) is
+    # reused; the simulated path still builds its own so the PRAM cost
+    # report accounts every step the paper's Step 3 performs.
+    shared_tour = None if machine.simulates else numbers.tour
     top_mark = topmost_marked_ancestor(machine, tree.left, tree.right,
                                        tree.parent, [tree.root], marked,
                                        work_efficient=work_efficient,
+                                       tour=shared_tour,
                                        label=f"{label}.regions")
     inside_region = top_mark != -1
     active = ~inside_region

@@ -26,6 +26,7 @@ from ..cograph import (
     BinaryCotree,
     CographAdjacencyOracle,
     Cotree,
+    FlatCotree,
     PathCover,
 )
 from ..pram import PRAM, AccessMode, CostReport, optimal_processor_count
@@ -105,7 +106,7 @@ def _build_context(n: int, machine: Optional[PRAM],
 
 
 def minimum_path_cover_parallel(
-    tree: Union[Cotree, BinaryCotree],
+    tree: Union[Cotree, FlatCotree, BinaryCotree],
     *,
     machine: Optional[PRAM] = None,
     backend: Union[None, str, ExecutionContext] = None,
@@ -120,8 +121,9 @@ def minimum_path_cover_parallel(
     Parameters
     ----------
     tree:
-        the cograph's cotree (general or already binarized).  General cotrees
-        must be canonical (every internal node with >= 2 children).
+        the cograph's cotree (general — :class:`Cotree` or
+        :class:`FlatCotree` — or already binarized).  General cotrees must
+        be canonical (every internal node with >= 2 children).
     machine:
         an existing :class:`~repro.pram.PRAM` to account on.  When omitted
         (and ``backend`` selects the PRAM path), a fresh EREW machine with
@@ -200,7 +202,7 @@ class PathCoverSolver:
         self.validate = validate
         self.record_steps = record_steps
 
-    def solve(self, tree: Union[Cotree, BinaryCotree],
+    def solve(self, tree: Union[Cotree, FlatCotree, BinaryCotree],
               machine: Optional[PRAM] = None) -> ParallelPathCoverResult:
         """Solve one instance; a fresh context is created unless a machine
         is given."""

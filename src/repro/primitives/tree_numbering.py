@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .._dfs import binary_forest_numbering
 from ..backends import resolve_context
 from .euler_tour import EulerTour, build_euler_tour
 
@@ -40,6 +41,7 @@ class TreeNumbers:
 def compute_tree_numbers(ctx, left, right, parent,
                          roots: Sequence[int], *,
                          work_efficient: bool = True,
+                         known_depth=None,
                          label: str = "numbering") -> TreeNumbers:
     """Compute all tree numberings for a binary forest.
 
@@ -52,12 +54,30 @@ def compute_tree_numbers(ctx, left, right, parent,
     is entered, an internal node is visited when the tour returns from its
     left subtree (for nodes with only a right child, at the enter arc; this
     matches the usual inorder convention for binary trees).
+
+    ``known_depth`` lets a caller that already holds the node depths (they
+    are invariant under child swaps) skip recomputing them on the
+    throughput path; the simulator ignores it.
     """
     machine = resolve_context(ctx)
     left = np.asarray(left, dtype=np.int64)
     right = np.asarray(right, dtype=np.int64)
     parent = np.asarray(parent, dtype=np.int64)
     n = len(left)
+
+    # Throughput path: one C-level DFS numbering replaces the tour ranking
+    # *and* the five prefix scans below, with bit-identical results (the
+    # backend-parity tests cross-check every field against the simulator).
+    if n and not machine.simulates:
+        numbering = binary_forest_numbering(left, right, parent, roots,
+                                            known_depth=known_depth)
+        if numbering is not None:
+            tour = build_euler_tour(machine, left, right, parent, roots,
+                                    work_efficient=work_efficient,
+                                    numbering=numbering,
+                                    label=f"{label}.euler")
+            return _numbers_from_dfs(tour, left, right, numbering)
+
     tour = build_euler_tour(machine, left, right, parent, roots,
                             work_efficient=work_efficient, label=f"{label}.euler")
     nodes = np.arange(n, dtype=np.int64)
@@ -113,4 +133,40 @@ def compute_tree_numbers(ctx, left, right, parent,
 
     return TreeNumbers(preorder=preorder, inorder=inorder, postorder=postorder,
                        depth=depth, subtree_size=subtree_size,
+                       subtree_leaves=subtree_leaves, tour=tour)
+
+
+def _numbers_from_dfs(tour: EulerTour, left: np.ndarray, right: np.ndarray,
+                      numbering) -> TreeNumbers:
+    """Assemble :class:`TreeNumbers` from a DFS numbering (throughput path).
+
+    ``subtree_leaves`` is one cumulative sum over the preorder sequence
+    (every subtree is a contiguous preorder interval); ``inorder`` is one
+    cumulative sum over the 2n tour positions with a visit tick per node —
+    exactly the quantities the simulated scans compute arc by arc.
+    """
+    pre, post, depth, size = numbering
+    n = len(pre)
+    is_leaf = (left == -1) & (right == -1)
+
+    # leaves in the preorder interval [pre, pre + size)
+    leaf_flag = np.zeros(n + 1, dtype=np.int64)
+    leaf_flag[pre[is_leaf] + 1] = 1
+    leaf_cum = np.cumsum(leaf_flag)
+    subtree_leaves = leaf_cum[pre + size] - leaf_cum[pre]
+
+    # inorder: leaves tick at their enter arc, internal nodes with a left
+    # child at exit(left child), other internal nodes at their enter arc
+    enter_pos = tour.position[:n]
+    exit_pos = tour.position[n:]
+    tick_pos = np.where(is_leaf, enter_pos,
+                        np.where(left != -1,
+                                 exit_pos[np.maximum(left, 0)], enter_pos))
+    ticks = np.zeros(2 * n, dtype=np.int64)
+    ticks[tick_pos] = 1
+    tick_cum = np.cumsum(ticks)
+    inorder = tick_cum[tick_pos] - 1
+
+    return TreeNumbers(preorder=pre, inorder=inorder, postorder=post,
+                       depth=depth, subtree_size=size,
                        subtree_leaves=subtree_leaves, tour=tour)

@@ -243,3 +243,67 @@ def test_digit_string_without_a_file_is_still_a_single_vertex(tmp_path,
     prob = as_problem("123")
     assert prob.source_format == "text"
     assert prob.num_vertices == 1
+
+
+# --------------------------------------------------------------------------- #
+# vectorized edge-list / adjacency adapters (no per-edge Python loop)
+# --------------------------------------------------------------------------- #
+
+class TestVectorizedGraphAdapters:
+    """Parity regressions for the NumPy fast paths of the graph adapters."""
+
+    @staticmethod
+    def _random_edges(rng, n, p):
+        rows, cols = np.triu_indices(n, k=1)
+        keep = rng.random(len(rows)) < p
+        return np.stack([rows[keep], cols[keep]], axis=1).astype(np.int64)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_edge_array_matches_per_edge_construction(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 24))
+        edges = self._random_edges(rng, n, 0.4)
+        if len(edges) == 0:
+            edges = np.array([[0, 1]], dtype=np.int64)
+        reference = Graph(n, [(int(u), int(v)) for u, v in edges])
+        fast = Graph.from_edge_array(n, edges)
+        assert fast.n == reference.n
+        assert fast.adj == reference.adj
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ndarray_and_tuple_list_inputs_agree(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(3, 20))
+        edges = self._random_edges(rng, n, 0.5)
+        if len(edges) == 0:
+            edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        from_array = as_problem(edges)
+        from_tuples = as_problem([(int(u), int(v)) for u, v in edges])
+        assert from_array.graph.adj == from_tuples.graph.adj
+        # covers agree end to end whichever spelling arrived (cographs only)
+        from repro.cograph import is_cograph
+        if is_cograph(from_array.graph):
+            a = solve(from_array, task="path_cover")
+            b = solve(from_tuples, task="path_cover")
+            assert a.cover.canonical().paths == b.cover.canonical().paths
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_adjacency_dict_matches_per_edge_construction(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(2, 18))
+        edges = self._random_edges(rng, n, 0.5)
+        adj = {u: [] for u in range(n)}
+        for u, v in edges:
+            adj[int(u)].append(int(v))
+        reference = Graph(n, [(int(u), int(v)) for u, v in edges])
+        assert Graph.from_adjacency(adj).adj == reference.adj
+
+    def test_from_edge_array_validates(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_edge_array(3, np.array([[0, 5]]))
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph.from_edge_array(3, np.array([[1, 1]]))
+
+    def test_from_edge_array_deduplicates(self):
+        g = Graph.from_edge_array(3, np.array([[0, 1], [1, 0], [0, 1]]))
+        assert g.num_edges() == 1

@@ -1,0 +1,131 @@
+"""The C-level DFS numbering kernel must be bit-identical to the simulator.
+
+``repro._dfs.binary_forest_numbering`` replaces the Euler-tour list ranking
+on the throughput backend; every field of :class:`TreeNumbers` (and the
+tour positions themselves) must match the PRAM-simulated computation
+exactly — on single trees, chained multi-root forests (in arbitrary chain
+order) and forests containing unary nodes (the dummy chains of Step 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._dfs import HAVE_SPARSE_DFS, binary_forest_numbering
+from repro.cograph import (
+    balanced_cotree,
+    binarize_cotree,
+    caterpillar_cotree,
+    random_cotree,
+)
+from repro.pram import PRAM
+from repro.primitives import build_euler_tour, compute_tree_numbers
+
+NUMBER_FIELDS = ("preorder", "inorder", "postorder", "depth",
+                 "subtree_size", "subtree_leaves")
+
+
+def assert_numbers_match(left, right, parent, roots, tag=""):
+    simulated = compute_tree_numbers(PRAM(), left, right, parent, roots)
+    fast = compute_tree_numbers(None, left, right, parent, roots)
+    for field in NUMBER_FIELDS:
+        assert np.array_equal(getattr(simulated, field),
+                              getattr(fast, field)), (tag, field)
+    assert np.array_equal(simulated.tour.position, fast.tour.position), tag
+    # the lazily materialised successor array matches the simulated one
+    assert np.array_equal(simulated.tour.successor, fast.tour.successor), tag
+
+
+def random_binary_forest(rng, n):
+    """A random binary forest that may contain unary (right- or left-only)
+    nodes and several roots."""
+    parent = np.full(n, -1, dtype=np.int64)
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+    for v in range(1, n):
+        p = int(rng.integers(0, v))
+        if left[p] != -1 and right[p] != -1:
+            continue                                # v stays a root
+        if left[p] == -1 and (right[p] != -1 or rng.integers(0, 2) == 0):
+            left[p] = v
+        else:
+            right[p] = v
+        parent[v] = p
+    roots = np.flatnonzero(parent == -1)
+    rng.shuffle(roots)                              # arbitrary chain order
+    return left, right, parent, roots
+
+
+class TestKernelParity:
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_binary_trees(self, seed):
+        b = binarize_cotree(random_cotree(50, seed=seed))
+        assert_numbers_match(b.left, b.right, b.parent, [b.root],
+                             f"tree-{seed}")
+
+    def test_deep_caterpillar(self):
+        b = binarize_cotree(caterpillar_cotree(80))
+        assert_numbers_match(b.left, b.right, b.parent, [b.root], "cater")
+
+    def test_balanced(self):
+        b = binarize_cotree(balanced_cotree(4, branching=3))
+        assert_numbers_match(b.left, b.right, b.parent, [b.root], "balanced")
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_random_forests_with_unary_nodes(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        n = int(rng.integers(1, 60))
+        left, right, parent, roots = random_binary_forest(rng, n)
+        assert_numbers_match(left, right, parent, roots, f"forest-{trial}")
+
+    def test_tour_positions_match_on_forests(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            n = int(rng.integers(2, 40))
+            left, right, parent, roots = random_binary_forest(rng, n)
+            sim = build_euler_tour(PRAM(), left, right, parent, roots)
+            fast = build_euler_tour(None, left, right, parent, roots)
+            assert np.array_equal(sim.position, fast.position)
+            assert np.array_equal(sim.successor, fast.successor)
+
+
+@pytest.mark.skipif(not HAVE_SPARSE_DFS, reason="scipy not installed")
+class TestKernelContract:
+
+    def test_rejects_roots_mismatch(self):
+        b = binarize_cotree(random_cotree(10, seed=0))
+        # missing root -> the kernel bails out (callers fall back to ranking)
+        assert binary_forest_numbering(b.left, b.right, b.parent, []) is None
+        wrong = [b.root, b.root]
+        assert binary_forest_numbering(b.left, b.right, b.parent, wrong) \
+            is None
+
+    def test_numbering_values(self):
+        #      0
+        #    1   2
+        #   3 4
+        left = np.array([1, 3, -1, -1, -1])
+        right = np.array([2, 4, -1, -1, -1])
+        parent = np.array([-1, 0, 0, 1, 1])
+        pre, post, depth, size = binary_forest_numbering(
+            left, right, parent, [0])
+        assert list(pre) == [0, 1, 4, 2, 3]
+        assert list(post) == [4, 2, 3, 0, 1]
+        assert list(depth) == [0, 1, 1, 2, 2]
+        assert list(size) == [5, 3, 1, 1, 1]
+
+    def test_fallback_when_scipy_disabled(self, monkeypatch):
+        import repro._dfs as dfs
+        monkeypatch.setattr(dfs, "HAVE_SPARSE_DFS", False)
+        b = binarize_cotree(random_cotree(12, seed=1))
+        assert dfs.binary_forest_numbering(
+            b.left, b.right, b.parent, [b.root]) is None
+        # the numbering entry point silently falls back to list ranking
+        sim = compute_tree_numbers(PRAM(), b.left, b.right, b.parent,
+                                   [b.root])
+        fast = compute_tree_numbers(None, b.left, b.right, b.parent,
+                                    [b.root])
+        for field in NUMBER_FIELDS:
+            assert np.array_equal(getattr(sim, field), getattr(fast, field))
