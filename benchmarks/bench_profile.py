@@ -1,24 +1,34 @@
-"""E11 — per-stage wall-clock profile of the flat-array hot path.
+"""E11 + E12 — wall-clock profiles of the flat-array hot path.
 
-Every future PR needs a trajectory to compare against: this harness runs the
-eight-stage pipeline on fixed instances (``random_cotree``, seeds pinned) at
-n ∈ {1k, 10k, 100k} on both execution backends, records the wall-clock of
-every stage, and writes the result as machine-readable JSON
-(``benchmarks/results/BENCH_PR4.json``) next to the human-readable
-``benchmarks/results/E11.md`` table.
+Every future PR needs a trajectory to compare against: this harness runs
+
+* **E11** — the eight-stage pipeline on fixed instances (``random_cotree``,
+  seeds pinned) at n ∈ {1k, 10k, 100k} on both execution backends, with
+  per-stage wall-clock, and
+* **E12** — the cotree-DP engine: the five DP tasks (``max_clique``,
+  ``max_independent_set``, ``chromatic_number``, ``clique_cover``,
+  ``count_independent_sets``) end to end through ``solve()`` on the same
+  instances; ``max_clique`` at n = 100k must stay within 2x the pipeline
+  total that the PR 4 ``lower_bound`` task used to pay at that size (the
+  DP replaces a full cover run),
+
+and writes both as machine-readable JSON
+(``benchmarks/results/BENCH_PR5.json``) next to the human-readable
+``benchmarks/results/E11.md`` / ``E12.md`` tables.
 
 The JSON also stores a *calibration* measurement (a fixed NumPy workload),
 so a later run on a different machine can scale the baseline before
-comparing: ``--check BASELINE.json`` fails (exit 1) when any stage is more
-than ``--factor`` (default 2.0) slower than the calibrated baseline — the
-CI ``perf-smoke`` job runs exactly that against the checked-in baseline.
+comparing: ``--check BASELINE.json`` fails (exit 1) when any pipeline stage
+or DP task is more than ``--factor`` (default 2.0) slower than the
+calibrated baseline — the CI ``perf-smoke`` job runs exactly that against
+the checked-in baseline.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_profile.py            # full run
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke \
-        --check benchmarks/results/BENCH_PR4.json                # regression
+        --check benchmarks/results/BENCH_PR5.json                # regression
 """
 
 import argparse
@@ -30,6 +40,7 @@ import time
 import numpy as np
 
 from repro._version import __version__
+from repro.api import solve
 from repro.cograph import FlatCotree, random_cotree
 from repro.core.pipeline import Pipeline
 
@@ -48,10 +59,23 @@ FULL_GRID = [
 #: the CI smoke configuration: one point, compared against the baseline.
 SMOKE_GRID = [("fast", 10_000, 3)]
 
+#: the E12 DP-engine tasks and their (backend, n, repeats) grid.
+DP_TASKS = ("max_clique", "max_independent_set", "chromatic_number",
+            "clique_cover", "count_independent_sets")
+FULL_DP_GRID = [
+    ("fast", 1_000, 5),
+    ("fast", 10_000, 5),
+    ("fast", 100_000, 3),
+    ("pram", 1_000, 2),
+    ("pram", 10_000, 1),
+]
+SMOKE_DP_GRID = [("fast", 10_000, 3)]
+
 SEED = 7
-DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR4.json")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR5.json")
 COLUMNS = ["backend", "n", "input", "total_s"] + list(
     Pipeline.default().stages)
+DP_COLUMNS = ["backend", "n"] + list(DP_TASKS)
 
 
 def calibrate() -> float:
@@ -106,6 +130,56 @@ def run_grid(grid):
     return results
 
 
+def profile_dp(backend: str, n: int, repeats: int):
+    """Best-of-``repeats`` end-to-end seconds per DP task (E12)."""
+    tree = FlatCotree.from_cotree(random_cotree(n, seed=SEED))
+    task_seconds = {}
+    for task in DP_TASKS:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solve(tree, task, backend=backend)
+            best = min(best, time.perf_counter() - t0)
+        task_seconds[task] = round(best, 6)
+    return {"backend": backend, "n": n, "repeats": repeats,
+            "task_seconds": task_seconds}
+
+
+def run_dp_grid(grid):
+    results = []
+    for backend, n, repeats in grid:
+        results.append(profile_dp(backend, n, repeats))
+        worst = max(results[-1]["task_seconds"].values())
+        print(f"  dp {backend:4s} n={n:>7} slowest-task={worst:.4f}s",
+              flush=True)
+    return results
+
+
+def check_e12_bound(payload: dict, baseline: dict, factor: float) -> list:
+    """E12 acceptance: DP ``max_clique`` at the top fast grid point must be
+    within ``factor`` x the (calibration-scaled) pipeline total there — the
+    cost the PR 4 ``lower_bound`` task paid for the same number."""
+    dp_rows = {(r["backend"], r["n"]): r for r in payload.get("dp_results", [])}
+    ref_rows = {(r["backend"], r["n"], r["input_form"]): r
+                for r in baseline.get("results", [])}
+    failures = []
+    for (backend, n), row in sorted(dp_rows.items()):
+        if backend != "fast":
+            continue
+        ref = ref_rows.get((backend, n, "flat"))
+        if ref is None:
+            continue
+        scale = payload["calibration_seconds"] / \
+            max(baseline["calibration_seconds"], 1e-9)
+        budget = factor * max(ref["total_seconds"] * scale, 0.002)
+        got = row["task_seconds"]["max_clique"]
+        if got > budget:
+            failures.append(
+                f"E12 max_clique fast n={n}: {got:.4f}s > "
+                f"{factor:.1f} x pipeline total {ref['total_seconds']:.4f}s")
+    return failures
+
+
 def check_against(base: dict, current: dict, factor: float) -> int:
     """Compare ``current`` to the loaded baseline; return the exit code."""
     scale = current["calibration_seconds"] / \
@@ -126,6 +200,20 @@ def check_against(base: dict, current: dict, factor: float) -> int:
                 failures.append(
                     f"{row['backend']} n={row['n']} stage {stage!r}: "
                     f"{sec:.4f}s > {factor:.1f} x {budget:.4f}s")
+    # E12: DP task budgets, when the baseline carries dp_results
+    base_dp = {(r["backend"], r["n"]): r for r in base.get("dp_results", [])}
+    for row in current.get("dp_results", []):
+        ref = base_dp.get((row["backend"], row["n"]))
+        if ref is None:
+            continue
+        for task, sec in row["task_seconds"].items():
+            budget = max(ref["task_seconds"].get(task, 0.0) * scale, floor)
+            compared += 1
+            if sec > factor * budget:
+                failures.append(
+                    f"dp {row['backend']} n={row['n']} task {task!r}: "
+                    f"{sec:.4f}s > {factor:.1f} x {budget:.4f}s")
+    failures += check_e12_bound(current, base, factor)
     if not compared:
         print("perf-check: no comparable grid points in baseline", flush=True)
         return 1
@@ -135,8 +223,8 @@ def check_against(base: dict, current: dict, factor: float) -> int:
         for f in failures:
             print("  " + f)
         return 1
-    print(f"perf-check OK: {compared} stage budgets within {factor:.1f}x "
-          f"(calibration scale {scale:.2f})")
+    print(f"perf-check OK: {compared} stage/task budgets within "
+          f"{factor:.1f}x (calibration scale {scale:.2f})")
     return 0
 
 
@@ -148,10 +236,11 @@ def main(argv=None) -> int:
                         help=f"where to write the JSON profile (default "
                              f"{DEFAULT_OUT}; --check runs that would "
                              f"overwrite their own baseline divert to "
-                             f"BENCH_PR4.current.json)")
+                             f"<baseline>.current.json)")
     parser.add_argument("--check", metavar="BASELINE",
                         help="compare against a stored BENCH_*.json; exit 1 "
-                             "on any stage regressing past --factor")
+                             "on any stage or DP task regressing past "
+                             "--factor")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="allowed slowdown per stage (default 2.0)")
     args = parser.parse_args(argv)
@@ -165,23 +254,27 @@ def main(argv=None) -> int:
             baseline = json.load(fh)
     out = args.out or DEFAULT_OUT
     if args.check and os.path.abspath(out) == os.path.abspath(args.check):
+        stem = os.path.splitext(os.path.basename(out))[0]
         out = os.path.join(os.path.dirname(os.path.abspath(out)),
-                           "BENCH_PR4.current.json")
+                           f"{stem}.current.json")
         print(f"--out would overwrite the baseline under check; "
               f"writing to {out} instead")
 
     grid = SMOKE_GRID if args.smoke else FULL_GRID
+    dp_grid = SMOKE_DP_GRID if args.smoke else FULL_DP_GRID
     print(f"[E11] per-stage profile ({'smoke' if args.smoke else 'full'}):")
     t0 = time.perf_counter()
     payload = {
-        "schema": 1,
-        "experiment": "E11",
+        "schema": 2,
+        "experiment": "E11+E12",
         "version": __version__,
         "seed": SEED,
         "smoke": bool(args.smoke),
         "calibration_seconds": round(calibrate(), 6),
         "results": run_grid(grid),
     }
+    print(f"[E12] cotree-DP tasks ({'smoke' if args.smoke else 'full'}):")
+    payload["dp_results"] = run_dp_grid(dp_grid)
     payload["harness_seconds"] = round(time.perf_counter() - t0, 3)
 
     os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
@@ -201,9 +294,27 @@ def main(argv=None) -> int:
             rows.append(row)
         write_result_table("E11", "per-stage pipeline profile (seconds, "
                            "best of repeats)", rows, COLUMNS)
+        dp_rows = []
+        for r in payload["dp_results"]:
+            row = {"backend": r["backend"], "n": r["n"]}
+            row.update({t: round(s, 4)
+                        for t, s in r["task_seconds"].items()})
+            dp_rows.append(row)
+        write_result_table("E12", "cotree-DP tasks end to end via solve() "
+                           "(seconds, best of repeats)", dp_rows, DP_COLUMNS)
 
     if baseline is not None:
         return check_against(baseline, payload, args.factor)
+    # no external baseline: still enforce the E12 acceptance bound against
+    # this very run's pipeline profile
+    failures = check_e12_bound(payload, payload, args.factor)
+    if failures:
+        print("E12 bound FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("E12 bound OK: max_clique within "
+          f"{args.factor:.1f}x of the pipeline total at every fast point")
     return 0
 
 

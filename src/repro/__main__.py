@@ -40,6 +40,22 @@ from .backends import BACKEND_NAMES
 from .io import render_cover
 
 
+def _task_help_lines() -> str:
+    """The task list of ``--help``, derived from the registry — a newly
+    registered task appears here (and in the ``--task`` choices) with no
+    CLI change."""
+    width = max(len(name) for name in task_names())
+    return "\n".join(f"  {name:<{width}s}  {TASKS[name].summary}"
+                     for name in task_names())
+
+
+def _takes_bits(task: str) -> bool:
+    """Does ``task`` read its input as a 0/1 bit vector?  (From the
+    registry's ``input_kind``, not a hard-coded task list.)"""
+    spec = TASKS.get(task)
+    return spec is not None and spec.input_kind == "bits"
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -47,14 +63,19 @@ def _build_parser() -> argparse.ArgumentParser:
                     "— one front door over every task.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("solve", help="solve one instance (or a stream)")
+    run = sub.add_parser(
+        "solve", help="solve one instance (or a stream)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="registered tasks:\n" + _task_help_lines())
     run.add_argument("input", nargs="?", default=None,
                      help="cotree text like '(0 + (1 * 2))' or a JSON file "
-                          "path (cotree or graph); for --task lower_bound, "
-                          "a 0/1 bit string like '101' or '1,0,1'; omit "
-                          "with --stream")
+                          "path (cotree or graph); for bit-vector tasks "
+                          "(e.g. lower_bound), a 0/1 bit string like '101' "
+                          "or '1,0,1'; omit with --stream")
     run.add_argument("--task", default="path_cover", choices=task_names(),
-                     help="what to compute (default: path_cover)")
+                     metavar="TASK",
+                     help="what to compute (default: path_cover); one of "
+                          + ", ".join(task_names()))
     run.add_argument("--method", default="parallel", choices=METHOD_NAMES,
                      help="algorithm family (default: parallel)")
     run.add_argument("--backend", default=None,
@@ -88,23 +109,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_tasks() -> int:
-    for name in task_names():
-        print(f"{name:<18s} {TASKS[name].summary}")
+    print(_task_help_lines())
     return 0
 
 
-def _parse_bits(text: str):
+def _parse_bits(text: str, task: str):
     """``"101"`` / ``"1,0,1"`` / ``"1 0 1"`` -> a bit-vector problem."""
     digits = text.replace(",", "").replace(" ", "")
     if not digits or set(digits) - {"0", "1"}:
         raise ValueError(
-            f"the lower_bound task takes a 0/1 bit string "
+            f"the {task} task takes a 0/1 bit string "
             f"(e.g. '101' or '1,0,1'), got {text!r}")
     return [int(c) for c in digits]
 
 
 def _iter_jsonl(lines, task: str):
     """Lazily turn stdin lines into problems (blank lines skipped)."""
+    bits_task = _takes_bits(task)
     for line in lines:
         line = line.strip()
         if not line:
@@ -114,10 +135,10 @@ def _iter_jsonl(lines, task: str):
         except json.JSONDecodeError:
             # bare cotree text like (0 + (1 * 2)) is accepted unquoted
             value = line
-        if task == "lower_bound" and isinstance(value, (str, int)):
+        if bits_task and isinstance(value, (str, int)):
             # "101" JSON-parses to the integer 101; both spellings are
             # bit strings here
-            value = _parse_bits(str(value))
+            value = _parse_bits(str(value), task)
         yield value
 
 
@@ -154,7 +175,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             or args.chunksize != 1 or args.cache is not None:
         raise ValueError("--jobs/--window/--chunksize/--cache only apply "
                          "to --stream")
-    problem = (_parse_bits(args.input) if args.task == "lower_bound"
+    problem = (_parse_bits(args.input, args.task) if _takes_bits(args.task)
                else args.input)
     solution = solve(problem, args.task, options=options)
     if args.json:

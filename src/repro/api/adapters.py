@@ -284,12 +284,20 @@ def _edge_array(edges: np.ndarray) -> Problem:
 
 
 def _bits(values, task: Optional[str]) -> Problem:
-    if task != "lower_bound":
+    # consult the registry's input_kind instead of hard-coding task names,
+    # so out-of-tree bit-vector tasks inherit this adapter ("lower_bound"
+    # stays accepted literally: adapters must work standalone, before any
+    # task registration has happened)
+    from .registry import TASKS
+    spec = TASKS.get(task) if task is not None else None
+    takes_bits = (spec.input_kind == "bits" if spec is not None
+                  else task == "lower_bound")
+    if not takes_bits:
         raise ValueError(
             "a flat integer sequence is only accepted as a 0/1 bit vector "
-            "for task='lower_bound' (the Fig. 2 reduction); for a graph "
-            "pass an edge list of pairs like [(0, 1), (1, 2)], an "
-            "adjacency dict, or a Graph")
+            "for bit-vector tasks such as task='lower_bound' (the Fig. 2 "
+            "reduction); for a graph pass an edge list of pairs like "
+            "[(0, 1), (1, 2)], an adjacency dict, or a Graph")
     if not all(int(v) in (0, 1) for v in values):
         raise ValueError(
             "lower-bound bit vectors must contain only 0/1 values")

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
-__all__ = ["TaskSpec", "register_task", "get_task", "task_names", "TASKS"]
+__all__ = ["TaskSpec", "register_task", "get_task", "task_names", "TASKS",
+           "INPUT_KINDS"]
 
 
 @dataclass(frozen=True)
@@ -33,21 +34,32 @@ class TaskSpec:
         (e.g. ``recognition``) reject backend/PRAM options instead of
         silently ignoring them.
     summary:
-        one-line description (shown by ``python -m repro tasks``).
+        one-line description (shown by ``python -m repro tasks`` and the
+        CLI ``--help`` text, both derived from the registry).
+    input_kind:
+        what the task's input *is*: ``"cotree"`` (any cograph description)
+        or ``"bits"`` (a 0/1 bit vector — the lower-bound reduction).  The
+        input adapters and the CLI consult this instead of hard-coding
+        task names, so new bit-vector tasks inherit the parsing.
     """
 
     name: str
     fn: Callable
     runs_pipeline: bool
     summary: str
+    input_kind: str = "cotree"
 
 
 #: the global registry; mutate only through :func:`register_task`.
 TASKS: Dict[str, TaskSpec] = {}
 
 
+#: the accepted :attr:`TaskSpec.input_kind` values.
+INPUT_KINDS = ("cotree", "bits")
+
+
 def register_task(name: str, *, runs_pipeline: bool = True,
-                  summary: str = "") -> Callable:
+                  summary: str = "", input_kind: str = "cotree") -> Callable:
     """Register a task implementation under ``name`` (decorator).
 
     ::
@@ -64,6 +76,9 @@ def register_task(name: str, *, runs_pipeline: bool = True,
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"task name must be a non-empty string, got {name!r}")
+    if input_kind not in INPUT_KINDS:
+        raise ValueError(f"unknown input_kind {input_kind!r}; use one of "
+                         f"{INPUT_KINDS}")
 
     def decorator(fn: Callable) -> Callable:
         if name in TASKS:
@@ -72,7 +87,8 @@ def register_task(name: str, *, runs_pipeline: bool = True,
         TASKS[name] = TaskSpec(name=name, fn=fn,
                                runs_pipeline=runs_pipeline,
                                summary=summary or (fn.__doc__ or "").strip()
-                               .split("\n")[0])
+                               .split("\n")[0],
+                               input_kind=input_kind)
         return fn
 
     return decorator

@@ -1,8 +1,8 @@
 """The built-in tasks of the :func:`repro.api.solve` front door.
 
-Six tasks ship with the library; each is a plain function registered with
-:func:`~repro.api.registry.register_task`, so they double as examples for
-out-of-tree tasks:
+Eleven tasks ship with the library; each is a plain function registered
+with :func:`~repro.api.registry.register_task`, so they double as examples
+for out-of-tree tasks:
 
 ============================  =============================================
 ``path_cover``                the minimum path cover itself (the paper's
@@ -13,10 +13,26 @@ out-of-tree tasks:
 ``hamiltonian_cycle``         a Hamiltonian cycle witness, or ``None``
 ``recognition``               is the input graph a cograph at all?
 ``lower_bound``               the Fig. 2 OR reduction, solved end-to-end
+``max_clique``                omega(G) with a vertex witness
+``max_independent_set``       alpha(G) with a vertex witness
+``chromatic_number``          chi(G) with a proper colouring witness
+``clique_cover``              theta(G) with a clique-partition witness
+``count_independent_sets``    exact #IS (arbitrary precision)
 ============================  =============================================
+
+The last five (and the size computations behind ``lower_bound`` and
+``path_cover_size``) all run on the declarative cotree-DP engine
+(:mod:`repro.core.dp`): one :class:`~repro.core.CotreeDP` spec per task,
+executed level-wise over :class:`~repro.cograph.FlatCotree` CSR arrays on
+whichever backend the options select.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Any, Dict, Tuple
+
+import numpy as np
 
 from ..baselines import sequential_path_cover
 from ..cograph import (
@@ -33,9 +49,21 @@ from ..core import (
     hamiltonian_cycle,
     hamiltonian_path,
     minimum_path_cover_parallel,
-    or_from_cover,
     or_from_path_count,
 )
+from ..core.dp import (
+    CHROMATIC_NUMBER_DP,
+    CLIQUE_COVER_DP,
+    COUNT_INDEPENDENT_SETS_DP,
+    MAX_CLIQUE_DP,
+    MAX_INDEPENDENT_SET_DP,
+    PATH_COVER_SIZE_DP,
+    CotreeDP,
+    CotreeDPRun,
+    run_cotree_dp,
+    run_cotree_dp_sequential,
+)
+from ..core.solver import _build_context
 from .adapters import Problem
 from .options import SolveOptions
 from .registry import register_task
@@ -173,12 +201,182 @@ def _task_recognition(problem: Problem, options: SolveOptions) -> Solution:
 
 
 # --------------------------------------------------------------------------- #
+# the cotree-DP tasks
+# --------------------------------------------------------------------------- #
+
+def _run_dp(problem: Problem, options: SolveOptions,
+            dp: CotreeDP) -> Tuple[CotreeDPRun, Dict[str, float]]:
+    """Execute one :class:`~repro.core.CotreeDP` under the options' engine.
+
+    ``method="sequential"`` runs the generic postorder evaluator;
+    ``method="parallel"`` runs the level-wise engine on the configured
+    backend (the paper's PRAM machine by default, so the DP inherits the
+    EREW accounting).  The ``work_efficient`` knob has no effect here —
+    the engine has a single variant — and is deliberately tolerated so
+    option sets can sweep across tasks.
+    """
+    tree = problem.pipeline_tree()
+    t0 = time.perf_counter()
+    if options.method == "sequential":
+        run = run_cotree_dp_sequential(dp, tree)
+    else:
+        ctx = _build_context(tree.num_vertices, None, options.backend,
+                             options.num_processors, options.mode,
+                             options.record_steps)
+        run = run_cotree_dp(dp, tree, ctx)
+    return run, {"dp": time.perf_counter() - t0}
+
+
+def _dp_solution(task: str, run: CotreeDPRun, answer: Any,
+                 options: SolveOptions,
+                 stage_seconds: Dict[str, float]) -> Solution:
+    ctx = run.ctx
+    return Solution(task=task, answer=answer, backend=run.backend,
+                    options=options,
+                    report=ctx.report() if ctx is not None else None,
+                    machine=ctx.machine if ctx is not None else None,
+                    stage_seconds=stage_seconds)
+
+
+def _witness(run: CotreeDPRun, stage_seconds: Dict[str, float]):
+    t0 = time.perf_counter()
+    witness = run.witness()
+    stage_seconds["witness"] = time.perf_counter() - t0
+    return witness
+
+
+def _oracle(problem: Problem) -> CographAdjacencyOracle:
+    return CographAdjacencyOracle(problem.cotree())
+
+
+def _check_vertex_set(problem: Problem, vertices, size: int, *,
+                      adjacent: bool, what: str,
+                      oracle: CographAdjacencyOracle = None) -> None:
+    """Validate an extremal-set witness against the adjacency oracle
+    (quadratic in the witness size — meant for ``validate=True`` runs)."""
+    if len(vertices) != size:
+        raise ValueError(f"{what} witness has {len(vertices)} vertices, "
+                         f"claimed {size}")
+    if oracle is None:
+        oracle = _oracle(problem)
+    vs = [int(v) for v in vertices]
+    for i, u in enumerate(vs):
+        for v in vs[i + 1:]:
+            if bool(oracle.adjacent(u, v)) != adjacent:
+                raise ValueError(
+                    f"{what} witness is wrong: vertices {u} and {v} are "
+                    f"{'not ' if adjacent else ''}adjacent")
+
+
+@register_task("max_clique",
+               summary="omega(G) and a maximum-clique vertex witness "
+                       "(cotree DP)")
+def _task_max_clique(problem: Problem, options: SolveOptions) -> Solution:
+    run, seconds = _run_dp(problem, options, MAX_CLIQUE_DP)
+    size = run.root("omega")
+    vertices = [int(v) for v in _witness(run, seconds)]
+    if options.validate:
+        _check_vertex_set(problem, vertices, size, adjacent=True,
+                          what="max_clique")
+    return _dp_solution("max_clique", run,
+                        {"size": size, "vertices": vertices},
+                        options, seconds)
+
+
+@register_task("max_independent_set",
+               summary="alpha(G) and a maximum-independent-set vertex "
+                       "witness (cotree DP)")
+def _task_max_independent_set(problem: Problem,
+                              options: SolveOptions) -> Solution:
+    run, seconds = _run_dp(problem, options, MAX_INDEPENDENT_SET_DP)
+    size = run.root("alpha")
+    vertices = [int(v) for v in _witness(run, seconds)]
+    if options.validate:
+        _check_vertex_set(problem, vertices, size, adjacent=False,
+                          what="max_independent_set")
+    return _dp_solution("max_independent_set", run,
+                        {"size": size, "vertices": vertices},
+                        options, seconds)
+
+
+@register_task("chromatic_number",
+               summary="chi(G) and a proper colouring witness (cotree DP; "
+                       "chi = omega — cographs are perfect)")
+def _task_chromatic_number(problem: Problem,
+                           options: SolveOptions) -> Solution:
+    run, seconds = _run_dp(problem, options, CHROMATIC_NUMBER_DP)
+    chi = run.root("chi")
+    coloring = [int(c) for c in _witness(run, seconds)]
+    if options.validate:
+        if sorted(set(coloring)) != list(range(chi)):
+            raise ValueError(f"colouring uses {len(set(coloring))} colours, "
+                             f"claimed chi = {chi}")
+        oracle = _oracle(problem)
+        by_color: Dict[int, list] = {}
+        for v, c in enumerate(coloring):
+            by_color.setdefault(c, []).append(v)
+        for members in by_color.values():
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    if oracle.adjacent(u, v):
+                        raise ValueError(
+                            f"colouring is not proper: adjacent vertices "
+                            f"{u} and {v} share a colour")
+    return _dp_solution("chromatic_number", run,
+                        {"chromatic_number": chi, "coloring": coloring},
+                        options, seconds)
+
+
+@register_task("clique_cover",
+               summary="theta(G) and a partition into cliques (cotree DP; "
+                       "theta = alpha — cographs are perfect)")
+def _task_clique_cover(problem: Problem, options: SolveOptions) -> Solution:
+    run, seconds = _run_dp(problem, options, CLIQUE_COVER_DP)
+    theta = run.root("theta")
+    classes = _witness(run, seconds)
+    order = np.argsort(classes, kind="stable")
+    bounds = np.searchsorted(classes[order], np.arange(theta + 1))
+    cliques = [[int(v) for v in order[lo:hi]]
+               for lo, hi in zip(bounds[:-1], bounds[1:])]
+    if options.validate:
+        covered = sorted(v for clique in cliques for v in clique)
+        if covered != list(range(len(classes))):
+            raise ValueError("clique cover is not a partition of the "
+                             "vertex set")
+        oracle = _oracle(problem)      # built once, shared by every clique
+        for clique in cliques:
+            _check_vertex_set(problem, clique, len(clique), adjacent=True,
+                              what="clique_cover", oracle=oracle)
+    return _dp_solution("clique_cover", run,
+                        {"num_cliques": theta, "cliques": cliques},
+                        options, seconds)
+
+
+@register_task("count_independent_sets",
+               summary="the exact number of independent sets, empty set "
+                       "included (cotree DP, arbitrary precision)")
+def _task_count_independent_sets(problem: Problem,
+                                 options: SolveOptions) -> Solution:
+    run, seconds = _run_dp(problem, options, COUNT_INDEPENDENT_SETS_DP)
+    count = int(run.root("count"))
+    if options.validate:
+        reference = int(run_cotree_dp_sequential(
+            COUNT_INDEPENDENT_SETS_DP, problem.pipeline_tree()).root("count"))
+        if count != reference:
+            raise ValueError(f"count {count} disagrees with the sequential "
+                             f"evaluator ({reference})")
+    return _dp_solution("count_independent_sets", run,
+                        {"count": count, "includes_empty_set": True},
+                        options, seconds)
+
+
+# --------------------------------------------------------------------------- #
 # the lower-bound reduction
 # --------------------------------------------------------------------------- #
 
-@register_task("lower_bound",
+@register_task("lower_bound", input_kind="bits",
                summary="solve the Fig. 2 OR-reduction instance and decode "
-                       "OR from the cover (Theorem 2.2)")
+                       "OR from the path count (Theorem 2.2)")
 def _task_lower_bound(problem: Problem, options: SolveOptions) -> Solution:
     if problem.instance is None:
         raise ValueError(
@@ -186,14 +384,18 @@ def _task_lower_bound(problem: Problem, options: SolveOptions) -> Solution:
             "input must be a 0/1 bit vector (e.g. solve([1, 0, 1], "
             "task='lower_bound')), not a general cograph")
     instance = problem.instance
-    solution = _solve_cover(problem, options, "lower_bound")
+    run, seconds = _run_dp(problem, options, PATH_COVER_SIZE_DP)
+    num_paths = run.root("p")
     bits = [int(b) for b in instance.bits]
-    or_value = or_from_cover(solution.cover, instance)
-    assert or_value == or_from_path_count(solution.num_paths, instance.n)
-    solution.answer = {
-        "or": or_value,
+    expected = expected_path_count(bits)
+    if options.validate and num_paths != expected:
+        raise ValueError(f"path count {num_paths} disagrees with the "
+                         f"paper's formula n - k + 2 = {expected}")
+    solution = _dp_solution("lower_bound", run, {
+        "or": or_from_path_count(num_paths, instance.n),
         "bits": bits,
-        "num_paths": solution.num_paths,
-        "expected_num_paths": expected_path_count(bits),
-    }
+        "num_paths": num_paths,
+        "expected_num_paths": expected,
+    }, options, seconds)
+    solution.num_paths = num_paths
     return solution

@@ -2,8 +2,13 @@
 heuristic, and cost-model emulations of the prior parallel algorithms."""
 
 from .brute_force import (
+    brute_force_chromatic_number,
+    brute_force_clique_cover_number,
+    brute_force_count_independent_sets,
     brute_force_has_hamiltonian_cycle,
     brute_force_has_hamiltonian_path,
+    brute_force_max_clique,
+    brute_force_max_independent_set,
     brute_force_path_cover,
     brute_force_path_cover_size,
 )
@@ -20,6 +25,9 @@ __all__ = [
     "sequential_path_cover", "SequentialStats",
     "brute_force_path_cover", "brute_force_path_cover_size",
     "brute_force_has_hamiltonian_path", "brute_force_has_hamiltonian_cycle",
+    "brute_force_max_clique", "brute_force_max_independent_set",
+    "brute_force_chromatic_number", "brute_force_clique_cover_number",
+    "brute_force_count_independent_sets",
     "greedy_path_cover",
     "naive_parallel_path_cover", "lin_suboptimal_path_cover",
     "adhar_peng_path_cover", "EmulatedCost",

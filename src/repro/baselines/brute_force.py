@@ -13,9 +13,15 @@ from typing import Dict, List, Optional, Tuple
 from ..cograph import Graph, PathCover
 
 __all__ = ["brute_force_path_cover", "brute_force_path_cover_size",
-           "brute_force_has_hamiltonian_path", "brute_force_has_hamiltonian_cycle"]
+           "brute_force_has_hamiltonian_path",
+           "brute_force_has_hamiltonian_cycle",
+           "brute_force_max_clique", "brute_force_max_independent_set",
+           "brute_force_chromatic_number", "brute_force_clique_cover_number",
+           "brute_force_count_independent_sets"]
 
 _MAX_N = 16
+#: the chromatic-number DP is O(3^n), so it gets a tighter cap.
+_MAX_N_CHROMATIC = 12
 
 
 def _check_size(n: int) -> None:
@@ -130,3 +136,107 @@ def brute_force_has_hamiltonian_cycle(graph: Graph) -> bool:
                 dp[mask | (1 << u)][u] = True
     full = (1 << n) - 1
     return any(dp[full][v] and graph.has_edge(v, 0) for v in range(1, n))
+
+
+# --------------------------------------------------------------------------- #
+# subset-DP oracles for the cotree-DP tasks
+# --------------------------------------------------------------------------- #
+
+def _neighbour_masks(graph: Graph) -> List[int]:
+    """Adjacency as one bitmask per vertex."""
+    masks = [0] * graph.n
+    for v in range(graph.n):
+        for u in graph.adj[v]:
+            masks[v] |= 1 << u
+    return masks
+
+
+def _independent_masks(graph: Graph) -> List[bool]:
+    """``is_ind[mask]``: is the vertex subset ``mask`` independent?
+
+    Incremental over the lowest set bit: a set is independent iff the rest
+    is and the extracted vertex has no neighbour in the rest.  ``O(2^n)``.
+    """
+    n = graph.n
+    _check_size(n)
+    nb = _neighbour_masks(graph)
+    is_ind = [False] * (1 << n)
+    is_ind[0] = True
+    for mask in range(1, 1 << n):
+        v = (mask & -mask).bit_length() - 1
+        rest = mask & (mask - 1)
+        is_ind[mask] = is_ind[rest] and not (nb[v] & rest)
+    return is_ind
+
+
+def brute_force_max_independent_set(graph: Graph) -> int:
+    """alpha(G) — maximum independent set size (exact, ``O(2^n)``)."""
+    if graph.n == 0:
+        return 0
+    is_ind = _independent_masks(graph)
+    return max(bin(mask).count("1")
+               for mask in range(1 << graph.n) if is_ind[mask])
+
+
+def brute_force_max_clique(graph: Graph) -> int:
+    """omega(G) — maximum clique size (exact, ``O(2^n)``)."""
+    n = graph.n
+    _check_size(n)
+    if n == 0:
+        return 0
+    nb = _neighbour_masks(graph)
+    is_clique = [False] * (1 << n)
+    is_clique[0] = True
+    best = 0
+    for mask in range(1, 1 << n):
+        v = (mask & -mask).bit_length() - 1
+        rest = mask & (mask - 1)
+        is_clique[mask] = is_clique[rest] and (nb[v] & rest) == rest
+        if is_clique[mask]:
+            best = max(best, bin(mask).count("1"))
+    return best
+
+
+def brute_force_count_independent_sets(graph: Graph) -> int:
+    """The exact number of independent sets, empty set included."""
+    if graph.n == 0:
+        return 1
+    return sum(_independent_masks(graph))
+
+
+def brute_force_chromatic_number(graph: Graph) -> int:
+    """chi(G) by the classic subset DP (``O(3^n)``): peel off one
+    independent set at a time, always one containing the lowest uncoloured
+    vertex (safe because colour classes can be listed in that order)."""
+    n = graph.n
+    if n > _MAX_N_CHROMATIC:
+        raise ValueError(f"brute-force chromatic number limited to "
+                         f"{_MAX_N_CHROMATIC} vertices, got {n}")
+    if n == 0:
+        return 0
+    is_ind = _independent_masks(graph)
+    full = (1 << n) - 1
+    INF = n + 1
+    chi = [INF] * (full + 1)
+    chi[0] = 0
+    for mask in range(1, full + 1):
+        v = (mask & -mask).bit_length() - 1
+        # enumerate the subsets of mask that contain v and are independent
+        rest = mask & ~(1 << v)
+        sub = rest
+        while True:
+            cand = sub | (1 << v)
+            if is_ind[cand] and chi[mask & ~cand] + 1 < chi[mask]:
+                chi[mask] = chi[mask & ~cand] + 1
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+    return chi[full]
+
+
+def brute_force_clique_cover_number(graph: Graph) -> int:
+    """theta(G) = chi of the complement graph (exact)."""
+    n = graph.n
+    complement = Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)
+                           if not graph.has_edge(u, v)])
+    return brute_force_chromatic_number(complement)

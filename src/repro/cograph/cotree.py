@@ -121,6 +121,14 @@ class Cotree:
         if not (len(self.children) == n == len(self.leaf_vertex)):
             raise CotreeError("kind, children and leaf_vertex must have the "
                               "same length")
+        if n == 0:
+            # the cotree of the empty cograph: no nodes, root -1 (round-trips
+            # through FlatCotree and canonical_key must not raise)
+            if self.root != -1:
+                raise CotreeError("an empty cotree must have root -1")
+            self.parent = np.empty(0, dtype=np.int64)
+            self._vertex_to_leaf = {}
+            return
         parent = np.full(n, -1, dtype=np.int64)
         for u, cs in enumerate(self.children):
             for c in cs:
@@ -293,7 +301,7 @@ class Cotree:
 
     def preorder(self) -> Iterator[int]:
         """Iterate node ids in preorder (iterative, recursion-free)."""
-        stack = [self.root]
+        stack = [self.root] if self.num_nodes else []
         while stack:
             u = stack.pop()
             yield u
@@ -302,7 +310,7 @@ class Cotree:
     def postorder(self) -> Iterator[int]:
         """Iterate node ids in postorder (children before parents)."""
         order: List[int] = []
-        stack = [self.root]
+        stack = [self.root] if self.num_nodes else []
         while stack:
             u = stack.pop()
             order.append(u)
@@ -319,7 +327,7 @@ class Cotree:
 
     def height(self) -> int:
         """Height of the tree (number of edges on the longest root path)."""
-        if self.num_nodes == 1:
+        if self.num_nodes <= 1:
             return 0
         return int(self.depth().max())
 

@@ -198,6 +198,8 @@ class FlatCotree:
         jumps.  Children of the result are ordered by original node id.
         """
         n = self.num_nodes
+        if n == 0:
+            return self
         kind = self.kind
         parent = self.parent
         internal = kind != LEAF
@@ -393,6 +395,8 @@ def canonical_key(tree) -> Tuple:
     if flat.num_vertices > 1 and not flat.is_canonical():
         flat = flat.canonicalize()
     n = flat.num_nodes
+    if n == 0:
+        return ("cotree", 0)
     if n == 1:
         return ("cotree", 1, int(flat.leaf_vertex[flat.root]))
     depth = _depth_by_doubling(flat.parent)

@@ -7,8 +7,9 @@ Two kinds of checks live here:
   cotree's LCA-adjacency and an explicitly provided edge set.
 * :func:`minimum_path_cover_size` — the recurrence of Lemma 2.4
   (``p(u) = p(v) + p(w)`` at 0-nodes, ``max(p(v) − L(w), 1)`` at leftist
-  1-nodes), evaluated sequentially.  Every algorithm's output is compared
-  against this number, and the brute-force baseline certifies the recurrence
+  1-nodes), evaluated through the generic cotree-DP engine
+  (:mod:`repro.core.dp`).  Every algorithm's output is compared against
+  this number, and the brute-force baseline certifies the recurrence
   itself on small instances.
 """
 
@@ -18,8 +19,8 @@ from typing import Optional
 
 import numpy as np
 
-from .binary import BinaryCotree, binarize_cotree
-from .cotree import JOIN, LEAF, UNION, Cotree, CotreeError
+from .binary import BinaryCotree
+from .cotree import Cotree, CotreeError
 from .graph import Graph
 
 __all__ = [
@@ -88,38 +89,31 @@ def make_leftist(tree: BinaryCotree) -> BinaryCotree:
 
 
 def path_cover_sizes_per_node(tree: BinaryCotree) -> np.ndarray:
-    """``p(u)`` for every node of a *leftist* binary cotree, sequentially.
-
-    Implements the recurrence of Lemma 2.4:
+    """``p(u)`` for every node of a *leftist* binary cotree (Lemma 2.4).
 
     * leaves: ``p = 1``;
     * 0-nodes: ``p(u) = p(v) + p(w)``;
     * 1-nodes: ``p(u) = max(p(v) − L(w), 1)`` where ``v``/``w`` are the
       left/right children (the tree must be leftist for this to be the
       minimum).
+
+    The recurrence is one instance of the generic cotree-DP engine
+    (:data:`repro.core.PATH_COVER_SIZE_DP`); the engine evaluates the
+    symmetric multiway form ``max(1, max_child (p + L) - L(u))``, which
+    coincides with the left/right form above exactly on leftist trees —
+    and, unlike it, stays minimum on non-leftist inputs.
     """
-    counts = tree.subtree_leaf_counts()
-    p = np.zeros(tree.num_nodes, dtype=np.int64)
-    for u in tree.postorder():
-        k = tree.kind[u]
-        if k == LEAF:
-            p[u] = 1
-        elif k == UNION:
-            p[u] = p[tree.left[u]] + p[tree.right[u]]
-        else:  # JOIN
-            p[u] = max(p[tree.left[u]] - counts[tree.right[u]], 1)
-    return p
+    # imported lazily: repro.cograph must stay importable without repro.core
+    from ..core.dp import PATH_COVER_SIZE_DP, run_cotree_dp
+    return run_cotree_dp(PATH_COVER_SIZE_DP, tree).values["p"]
 
 
 def minimum_path_cover_size(tree: Cotree) -> int:
     """The number of paths in a minimum path cover of the cograph.
 
-    Binarizes, reorders to leftist form and evaluates the Lemma 2.4
-    recurrence at the root.  This is the analytic ground truth used
-    throughout the tests and benchmarks.
+    Evaluates the Lemma 2.4 recurrence at the root through the cotree-DP
+    engine — directly on the general cotree, no binarization needed.  This
+    is the analytic ground truth used throughout the tests and benchmarks.
     """
-    if tree.num_vertices == 1:
-        return 1
-    binary = make_leftist(binarize_cotree(tree))
-    p = path_cover_sizes_per_node(binary)
-    return int(p[binary.root])
+    from ..core.dp import PATH_COVER_SIZE_DP, run_cotree_dp
+    return run_cotree_dp(PATH_COVER_SIZE_DP, tree).root("p")

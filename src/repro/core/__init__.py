@@ -12,6 +12,22 @@ from .brackets import (
     generate_brackets,
     render_brackets,
 )
+from .dp import (
+    BUILTIN_DPS,
+    CHROMATIC_NUMBER_DP,
+    CLIQUE_COVER_DP,
+    COUNT_INDEPENDENT_SETS_DP,
+    MAX_CLIQUE_DP,
+    MAX_INDEPENDENT_SET_DP,
+    PATH_COVER_SIZE_DP,
+    Combine,
+    CotreeDP,
+    CotreeDPRun,
+    class_assignment,
+    run_cotree_dp,
+    run_cotree_dp_sequential,
+    selected_subtree_vertices,
+)
 from .extract import extract_paths
 from .hamiltonian import (
     HamiltonicityReport,
@@ -72,4 +88,10 @@ __all__ = [
     "expected_path_count", "parallel_or_rounds", "LowerBoundInstance",
     "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",
     "hamiltonian_cycle", "HamiltonicityReport", "hamiltonicity_report",
+    "CotreeDP", "Combine", "CotreeDPRun",
+    "run_cotree_dp", "run_cotree_dp_sequential",
+    "selected_subtree_vertices", "class_assignment",
+    "PATH_COVER_SIZE_DP", "MAX_CLIQUE_DP", "MAX_INDEPENDENT_SET_DP",
+    "CHROMATIC_NUMBER_DP", "CLIQUE_COVER_DP", "COUNT_INDEPENDENT_SETS_DP",
+    "BUILTIN_DPS",
 ]

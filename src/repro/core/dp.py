@@ -1,0 +1,572 @@
+"""The declarative bottom-up cotree-DP engine.
+
+Nearly every classic cograph problem — minimum path cover size, maximum
+clique, maximum independent set, chromatic number, clique cover, counting
+independent sets — is the *same computation shape*: give every leaf a value,
+then combine child values at 0-nodes (union) and 1-nodes (join), bottom-up.
+This module captures that shape once:
+
+* :class:`CotreeDP` is a declarative spec — a leaf initialiser plus one
+  :class:`Combine` rule per internal-node kind (an optional elementwise
+  ``prepare`` over child values, a set of named segmented reductions drawn
+  from ``sum`` / ``max`` / ``min`` / ``prod``, and an optional elementwise
+  ``finish``), with an optional witness reconstruction;
+* :func:`run_cotree_dp` executes a spec level-wise over
+  :class:`~repro.cograph.FlatCotree` CSR arrays on any execution backend.
+  On the :class:`~repro.backends.FastBackend` each level is **loop-free**:
+  the children of all the level's nodes are gathered with one fancy-index
+  expression and reduced with one ``np.ufunc.reduceat`` call per named
+  reduction.  On the :class:`~repro.backends.PRAMBackend` the same
+  reductions run as ``ceil(log2 max_arity)`` accounted halving rounds per
+  level, so every DP inherits the EREW cost model for free — the engine's
+  time is ``O(height + sum_level log arity)``, the cost profile of the
+  "naive level-by-level parallelisation" the paper discusses after
+  Lemma 2.3 (the bracket pipeline exists precisely to beat this on deep
+  trees; the engine is the general workhorse, not the headline algorithm);
+* :func:`run_cotree_dp_sequential` is the one generic postorder reference
+  evaluator (the ``method="sequential"`` path of the DP tasks) — no task
+  carries a bespoke traversal of its own.
+
+Outputs are bit-identical across all three execution paths (the reduction
+operators are associative over exact integers), which
+``tests/test_dp_engine.py`` pins for every built-in spec.
+
+The built-in specs live at the bottom of the module; the engine is public,
+so out-of-tree DPs get the backends, the witness helpers and the
+``solve()`` front door (via :func:`repro.api.register_task`) for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .._dfs import depth_by_doubling as _depth_by_doubling
+from ..backends import ExecutionContext, resolve_context
+from ..cograph import FlatCotree, as_flat_cotree
+from ..cograph.cotree import JOIN, LEAF, UNION
+
+__all__ = [
+    "Combine",
+    "CotreeDP",
+    "CotreeDPRun",
+    "run_cotree_dp",
+    "run_cotree_dp_sequential",
+    "selected_subtree_vertices",
+    "class_assignment",
+    "PATH_COVER_SIZE_DP",
+    "MAX_CLIQUE_DP",
+    "MAX_INDEPENDENT_SET_DP",
+    "CHROMATIC_NUMBER_DP",
+    "CLIQUE_COVER_DP",
+    "COUNT_INDEPENDENT_SETS_DP",
+    "BUILTIN_DPS",
+]
+
+#: the associative reduction operators a :class:`Combine` may name.
+_REDUCE_UFUNCS: Dict[str, np.ufunc] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+@dataclass(frozen=True)
+class Combine:
+    """How one internal-node kind combines its children's DP values.
+
+    Attributes
+    ----------
+    reduce:
+        tuple of ``(output_name, op, source)`` triples: for every internal
+        node of this kind, ``output_name`` becomes the segmented ``op``
+        (``"sum"`` / ``"max"`` / ``"min"`` / ``"prod"``) of ``source`` over
+        the node's children.  ``source`` is a DP field name or a derived
+        array produced by ``prepare``.
+    prepare:
+        optional elementwise map over child values,
+        ``prepare(child_values) -> dict of derived arrays`` (each aligned
+        with the child arrays).  Runs as one parallel step.
+    finish:
+        optional elementwise map from the reduced outputs to the node's DP
+        fields, ``finish(reduced) -> dict of field arrays``.  When omitted
+        the reduction outputs must already carry the DP field names.
+    """
+
+    reduce: Tuple[Tuple[str, str, str], ...]
+    prepare: Optional[Callable[[Dict[str, np.ndarray]],
+                               Dict[str, np.ndarray]]] = None
+    finish: Optional[Callable[[Dict[str, np.ndarray]],
+                              Dict[str, np.ndarray]]] = None
+
+    def __post_init__(self) -> None:
+        for out, op, _src in self.reduce:
+            if op not in _REDUCE_UFUNCS:
+                raise ValueError(
+                    f"unknown reduction {op!r} for output {out!r}; use one "
+                    f"of {sorted(_REDUCE_UFUNCS)}")
+
+
+@dataclass(frozen=True)
+class CotreeDP:
+    """A declarative bottom-up DP over cotrees.
+
+    Attributes
+    ----------
+    name:
+        spec name (used in step labels and error messages).
+    fields:
+        the per-node DP state — one array per field.
+    leaf:
+        ``leaf(vertex_ids) -> {field: array}`` — values of the leaf nodes,
+        vectorized over all leaves at once.
+    union / join:
+        the :class:`Combine` rule of 0-nodes / 1-nodes.
+    dtype:
+        NumPy dtype of every field array (``object`` for unbounded
+        integers, e.g. counting DPs).
+    witness:
+        optional ``witness(run) -> Any`` reconstruction executed by
+        :meth:`CotreeDPRun.witness` (see :func:`selected_subtree_vertices`
+        and :func:`class_assignment` for the two reusable shapes).
+    """
+
+    name: str
+    fields: Tuple[str, ...]
+    leaf: Callable[[np.ndarray], Dict[str, np.ndarray]]
+    union: Combine
+    join: Combine
+    dtype: Any = np.int64
+    witness: Optional[Callable[["CotreeDPRun"], Any]] = None
+
+
+@dataclass
+class CotreeDPRun:
+    """The outcome of one DP execution: per-node values plus the context."""
+
+    dp: CotreeDP
+    tree: FlatCotree
+    values: Dict[str, np.ndarray]
+    depth: np.ndarray
+    ctx: Optional[ExecutionContext] = None
+    backend: str = "fast"
+
+    def root(self, field_name: Optional[str] = None):
+        """The DP value at the root (first declared field by default)."""
+        name = field_name if field_name is not None else self.dp.fields[0]
+        value = self.values[name][self.tree.root]
+        return value if self.dp.dtype is object else int(value)
+
+    def witness(self) -> Any:
+        """Run the spec's witness reconstruction (``None`` when absent)."""
+        if self.dp.witness is None:
+            return None
+        return self.dp.witness(self)
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+
+def _gather_level_children(flat: FlatCotree, nodes: np.ndarray):
+    """Contiguous per-node child segments for one level.
+
+    Returns ``(child_nodes, seg_offsets)`` where ``child_nodes`` lists the
+    children of every node in ``nodes`` back to back and ``seg_offsets``
+    (length ``len(nodes) + 1``) delimits each node's block.  Pure index
+    arithmetic — no Python loop over nodes.
+    """
+    starts = flat.child_offset[nodes]
+    counts = flat.child_offset[nodes + 1] - starts
+    seg_offsets = np.zeros(len(nodes) + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_offsets[1:])
+    total = int(seg_offsets[-1])
+    pos = (np.arange(total, dtype=np.int64)
+           - np.repeat(seg_offsets[:-1], counts)
+           + np.repeat(starts, counts))
+    return flat.child_index[pos], seg_offsets
+
+
+def _segmented_reduce(ctx: ExecutionContext, values: np.ndarray,
+                      seg_offsets: np.ndarray, op: str,
+                      label: str) -> np.ndarray:
+    """Reduce each segment of ``values`` with ``op``.
+
+    Fast path: one ``ufunc.reduceat`` call.  Simulated path: accounted
+    pairwise halving rounds (``ceil(log2 max_segment)`` EREW steps, linear
+    work).  Bit-identical outputs — the operators are associative over
+    exact integers.
+    """
+    ufunc = _REDUCE_UFUNCS[op]
+    if not ctx.simulates:
+        return ufunc.reduceat(values, seg_offsets[:-1])
+    counts = np.diff(seg_offsets)
+    buf = values.copy()
+    local = (np.arange(len(values), dtype=np.int64)
+             - np.repeat(seg_offsets[:-1], counts))
+    seg_len = np.repeat(counts, counts)
+    h = 1
+    max_len = int(counts.max()) if len(counts) else 0
+    while h < max_len:
+        idx = np.flatnonzero((local % (2 * h) == 0) & (local + h < seg_len))
+        if len(idx):
+            with ctx.step(active=len(idx), label=f"{label}:{op}-halve"):
+                buf[idx] = ufunc(buf[idx], buf[idx + h])
+        h *= 2
+    return buf[seg_offsets[:-1]]
+
+
+def _combine_level(ctx: ExecutionContext, dp: CotreeDP, flat: FlatCotree,
+                   values: Dict[str, np.ndarray], nodes: np.ndarray,
+                   combine: Combine, label: str) -> None:
+    """Apply one :class:`Combine` to all same-kind nodes of one level."""
+    child_nodes, seg_offsets = _gather_level_children(flat, nodes)
+    child_values = {f: values[f][child_nodes] for f in dp.fields}
+    if combine.prepare is not None:
+        with ctx.step(active=len(child_nodes), label=f"{label}:prepare"):
+            child_values.update(combine.prepare(child_values))
+    reduced = {
+        out: _segmented_reduce(ctx, child_values[src], seg_offsets, op,
+                               label)
+        for out, op, src in combine.reduce
+    }
+    if combine.finish is not None:
+        with ctx.step(active=len(nodes), label=f"{label}:finish"):
+            reduced = combine.finish(reduced)
+    with ctx.step(active=len(nodes), label=f"{label}:store"):
+        for f in dp.fields:
+            values[f][nodes] = reduced[f]
+
+
+def run_cotree_dp(dp: CotreeDP, tree, ctx=None, *,
+                  label: Optional[str] = None) -> CotreeDPRun:
+    """Execute a :class:`CotreeDP` bottom-up, level by level.
+
+    Parameters
+    ----------
+    dp:
+        the declarative spec.
+    tree:
+        a :class:`~repro.cograph.Cotree` / ``BinaryCotree`` /
+        :class:`~repro.cograph.FlatCotree` (any shape — canonical form is
+        not required, since union and join are associative).
+    ctx:
+        execution context — anything
+        :func:`~repro.backends.resolve_context` accepts.  ``None`` runs on
+        the shared fast backend.
+
+    Returns
+    -------
+    CotreeDPRun
+        per-node value arrays (indexed by the flat tree's node ids), the
+        flat tree and the context the run accounted on.
+    """
+    context = resolve_context(ctx)
+    flat = as_flat_cotree(tree)
+    n = flat.num_nodes
+    if n == 0:
+        raise ValueError(f"cotree DP {dp.name!r} needs a non-empty cotree")
+    tag = label if label is not None else f"dp.{dp.name}"
+
+    values = {f: np.empty(n, dtype=dp.dtype) for f in dp.fields}
+    leaves = flat.leaves
+    with context.step(active=len(leaves), label=f"{tag}:leaves"):
+        leaf_values = dp.leaf(flat.leaf_vertex[leaves])
+        for f in dp.fields:
+            values[f][leaves] = leaf_values[f]
+
+    depth = _depth_by_doubling(flat.parent)
+    internal = flat.internal_nodes
+    if len(internal):
+        order = internal[np.argsort(-depth[internal], kind="stable")]
+        level_starts = np.flatnonzero(
+            np.diff(depth[order], prepend=depth[order[0]] + 1))
+        bounds = np.append(level_starts, len(order))
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            level_nodes = order[lo:hi]
+            d = int(depth[level_nodes[0]])
+            for kind, combine in ((UNION, dp.union), (JOIN, dp.join)):
+                sel = level_nodes[flat.kind[level_nodes] == kind]
+                if len(sel):
+                    _combine_level(context, dp, flat, values, sel, combine,
+                                   f"{tag}:L{d}")
+    return CotreeDPRun(dp=dp, tree=flat, values=values, depth=depth,
+                       ctx=context, backend=context.name)
+
+
+def run_cotree_dp_sequential(dp: CotreeDP, tree) -> CotreeDPRun:
+    """The generic sequential reference evaluator (plain postorder).
+
+    One Python loop over the nodes serves every spec — the DP tasks'
+    ``method="sequential"`` path and the parity oracle of the engine
+    tests.  Values are bit-identical to :func:`run_cotree_dp`.
+    """
+    flat = as_flat_cotree(tree)
+    n = flat.num_nodes
+    if n == 0:
+        raise ValueError(f"cotree DP {dp.name!r} needs a non-empty cotree")
+    values = {f: np.empty(n, dtype=dp.dtype) for f in dp.fields}
+    leaves = flat.leaves
+    leaf_values = dp.leaf(flat.leaf_vertex[leaves])
+    for f in dp.fields:
+        values[f][leaves] = leaf_values[f]
+
+    depth = _depth_by_doubling(flat.parent)
+    internal = flat.internal_nodes
+    order = internal[np.argsort(-depth[internal], kind="stable")]
+    for u in order.tolist():
+        combine = dp.union if flat.kind[u] == UNION else dp.join
+        kids = flat.children_of(u)
+        child_values = {f: values[f][kids] for f in dp.fields}
+        if combine.prepare is not None:
+            child_values.update(combine.prepare(child_values))
+        reduced = {out: _REDUCE_UFUNCS[op].reduce(child_values[src])
+                   for out, op, src in combine.reduce}
+        if combine.finish is not None:
+            # finish is written vectorized; feed it length-1 arrays
+            reduced = {k: np.asarray([v], dtype=dp.dtype)
+                       for k, v in reduced.items()}
+            reduced = {k: v[0] for k, v in combine.finish(reduced).items()}
+        for f in dp.fields:
+            values[f][u] = reduced[f]
+    return CotreeDPRun(dp=dp, tree=flat, values=values, depth=depth,
+                       ctx=None, backend="sequential")
+
+
+# --------------------------------------------------------------------------- #
+# witness reconstruction helpers
+# --------------------------------------------------------------------------- #
+
+def _levels_top_down(run: CotreeDPRun):
+    """Internal nodes grouped by depth, shallowest first."""
+    flat, depth = run.tree, run.depth
+    internal = flat.internal_nodes
+    if not len(internal):
+        return []
+    order = internal[np.argsort(depth[internal], kind="stable")]
+    level_starts = np.flatnonzero(
+        np.diff(depth[order], prepend=depth[order[0]] - 1))
+    bounds = np.append(level_starts, len(order))
+    return [order[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def _step(run: CotreeDPRun, active: int, label: str):
+    """An accounted step scope when the run has a context (no-op otherwise)."""
+    from contextlib import nullcontext
+    if run.ctx is None:
+        return nullcontext()
+    return run.ctx.step(active=active, label=label)
+
+
+def selected_subtree_vertices(run: CotreeDPRun, pick_at: int,
+                              field_name: str) -> np.ndarray:
+    """Witness for extremal-set DPs: the vertex set realising the root value.
+
+    Top-down selection: the root is selected; a selected node of kind
+    ``pick_at`` keeps exactly one child maximising ``field_name`` (its
+    value equals the node's own, so the witness realises the optimum);
+    every other selected internal node keeps all children.  With
+    ``pick_at=UNION`` this reconstructs a maximum clique (a clique lives
+    inside one union part but spans all join parts); ``pick_at=JOIN``
+    dually reconstructs a maximum independent set.
+
+    Ties break towards the smallest child node id on every backend
+    (the argmax is a max over ``value * num_nodes - child_id`` packed
+    keys), so witnesses are backend-independent.
+    """
+    flat = run.tree
+    n = flat.num_nodes
+    value = run.values[field_name]
+
+    # chosen child per pick_at node, via one packed segmented argmax
+    chosen = np.full(n, -1, dtype=np.int64)
+    pick_nodes = np.flatnonzero((flat.kind != LEAF) & (flat.kind == pick_at))
+    if len(pick_nodes):
+        child_nodes, seg_offsets = _gather_level_children(flat, pick_nodes)
+        with _step(run, len(child_nodes), f"dp.{run.dp.name}:witness-pack"):
+            packed = value[child_nodes] * np.int64(n) + (
+                np.int64(n - 1) - child_nodes)
+        best = _segmented_reduce(
+            run.ctx if run.ctx is not None else resolve_context(None),
+            packed, seg_offsets, "max", f"dp.{run.dp.name}:witness-argmax")
+        chosen[pick_nodes] = np.int64(n - 1) - best % np.int64(n)
+
+    selected = np.zeros(n, dtype=bool)
+    selected[flat.root] = True
+    for level_nodes in _levels_top_down(run):
+        sel = level_nodes[selected[level_nodes]]
+        if not len(sel):
+            continue
+        child_nodes, _ = _gather_level_children(flat, sel)
+        with _step(run, len(child_nodes), f"dp.{run.dp.name}:witness-select"):
+            parents = flat.parent[child_nodes]
+            keep = (flat.kind[parents] != pick_at) | \
+                (chosen[parents] == child_nodes)
+            selected[child_nodes[keep]] = True
+
+    picked_leaves = flat.leaves[selected[flat.leaves]]
+    return np.sort(flat.leaf_vertex[picked_leaves])
+
+
+def class_assignment(run: CotreeDPRun, accumulate_at: int,
+                     field_name: str) -> np.ndarray:
+    """Witness for partition DPs: a class index per vertex.
+
+    Top-down offset pass: every node receives a class-id offset (root 0);
+    at nodes of kind ``accumulate_at`` the children get *disjoint* id
+    ranges (each shifted by the exclusive prefix sum of its earlier
+    siblings' ``field_name`` values), at the other kind all children share
+    the parent's offset.  A leaf's class is its offset.
+
+    With ``accumulate_at=JOIN`` and the chromatic-number field this is a
+    proper colouring with exactly ``chi(G)`` colours (adjacent vertices
+    have a join LCA, whose children occupy disjoint colour ranges); with
+    ``accumulate_at=UNION`` and the clique-cover field it is a partition
+    into ``theta(G)`` cliques (same-class vertices always meet at a join).
+    """
+    flat = run.tree
+    n = flat.num_nodes
+    value = run.values[field_name]
+
+    # exclusive prefix of sibling values, per child slot of the CSR array
+    sib_prefix = np.zeros(len(flat.child_index), dtype=np.int64)
+    if len(flat.child_index):
+        with _step(run, len(flat.child_index),
+                   f"dp.{run.dp.name}:witness-sibling-prefix"):
+            vals = value[flat.child_index].astype(np.int64, copy=False)
+            glob = np.cumsum(vals)
+            excl = glob - vals
+            starts = flat.child_offset[:-1]
+            counts = np.diff(flat.child_offset)
+            base = np.repeat(excl[starts[counts > 0]], counts[counts > 0])
+            sib_prefix = excl - base
+
+    # slot index of every node under its parent (CSR position)
+    slot_of = np.full(n, -1, dtype=np.int64)
+    slot_of[flat.child_index] = np.arange(len(flat.child_index),
+                                          dtype=np.int64)
+
+    offset = np.zeros(n, dtype=np.int64)
+    for level_nodes in _levels_top_down(run):
+        child_nodes, _ = _gather_level_children(flat, level_nodes)
+        with _step(run, len(child_nodes), f"dp.{run.dp.name}:witness-offset"):
+            parents = flat.parent[child_nodes]
+            shift = np.where(flat.kind[parents] == accumulate_at,
+                             sib_prefix[slot_of[child_nodes]], 0)
+            offset[child_nodes] = offset[parents] + shift
+
+    leaves = flat.leaves
+    classes = np.empty(flat.num_vertices, dtype=np.int64)
+    classes[flat.leaf_vertex[leaves]] = offset[leaves]
+    return classes
+
+
+# --------------------------------------------------------------------------- #
+# the built-in specs
+# --------------------------------------------------------------------------- #
+
+def _ones_leaf(fields: Tuple[str, ...]):
+    def leaf(vertex_ids: np.ndarray) -> Dict[str, np.ndarray]:
+        one = np.ones(len(vertex_ids), dtype=np.int64)
+        return {f: one for f in fields}
+    return leaf
+
+
+#: Lemma 2.4 generalised to arbitrary-arity cotrees: ``p`` at a 0-node is
+#: the sum over children; at a 1-node it is ``max(1, max_j (p_j + L_j) - L)``
+#: — the multiway closed form of the leftist fold ``max(p(v) - L(w), 1)``
+#: (fold the children in non-increasing leaf-count order and the clamps
+#: telescope; every other child's term is a valid lower bound by the
+#: connector-counting argument, so the max over children is exact).
+PATH_COVER_SIZE_DP = CotreeDP(
+    name="path_cover_size",
+    fields=("p", "L"),
+    leaf=_ones_leaf(("p", "L")),
+    union=Combine(reduce=(("p", "sum", "p"), ("L", "sum", "L"))),
+    join=Combine(
+        prepare=lambda cv: {"p_plus_L": cv["p"] + cv["L"]},
+        reduce=(("best", "max", "p_plus_L"), ("L", "sum", "L")),
+        finish=lambda red: {"p": np.maximum(red["best"] - red["L"], 1),
+                            "L": red["L"]},
+    ),
+)
+
+#: omega: a clique lives inside one part of a union (max) and spans every
+#: part of a join (sum).
+MAX_CLIQUE_DP = CotreeDP(
+    name="max_clique",
+    fields=("omega",),
+    leaf=_ones_leaf(("omega",)),
+    union=Combine(reduce=(("omega", "max", "omega"),)),
+    join=Combine(reduce=(("omega", "sum", "omega"),)),
+    witness=lambda run: selected_subtree_vertices(run, UNION, "omega"),
+)
+
+#: alpha: dual of omega — sum across union parts, max across join parts.
+MAX_INDEPENDENT_SET_DP = CotreeDP(
+    name="max_independent_set",
+    fields=("alpha",),
+    leaf=_ones_leaf(("alpha",)),
+    union=Combine(reduce=(("alpha", "sum", "alpha"),)),
+    join=Combine(reduce=(("alpha", "max", "alpha"),)),
+    witness=lambda run: selected_subtree_vertices(run, JOIN, "alpha"),
+)
+
+#: chi: cographs are perfect, and the cotree shows it constructively —
+#: union parts can reuse colours (max), join parts need disjoint palettes
+#: (sum); the witness assigns the disjoint colour ranges top-down.
+CHROMATIC_NUMBER_DP = CotreeDP(
+    name="chromatic_number",
+    fields=("chi",),
+    leaf=_ones_leaf(("chi",)),
+    union=Combine(reduce=(("chi", "max", "chi"),)),
+    join=Combine(reduce=(("chi", "sum", "chi"),)),
+    witness=lambda run: class_assignment(run, JOIN, "chi"),
+)
+
+#: theta: clique-cover number = chi of the complement, and complementing a
+#: cograph just swaps the node labels — so the rules swap too.
+CLIQUE_COVER_DP = CotreeDP(
+    name="clique_cover",
+    fields=("theta",),
+    leaf=_ones_leaf(("theta",)),
+    union=Combine(reduce=(("theta", "sum", "theta"),)),
+    join=Combine(reduce=(("theta", "max", "theta"),)),
+    witness=lambda run: class_assignment(run, UNION, "theta"),
+)
+
+
+def _count_leaf(vertex_ids: np.ndarray) -> Dict[str, np.ndarray]:
+    # Python ints (dtype=object): independent-set counts grow past 2**63
+    # around n = 63, so the field must never silently wrap.
+    return {"count": np.array([2] * len(vertex_ids), dtype=object)}
+
+
+#: counts include the empty set: a union multiplies the per-part counts,
+#: a join allows at most one part to contribute (sum the non-empty counts,
+#: re-add the shared empty set).
+COUNT_INDEPENDENT_SETS_DP = CotreeDP(
+    name="count_independent_sets",
+    fields=("count",),
+    leaf=_count_leaf,
+    union=Combine(reduce=(("count", "prod", "count"),)),
+    join=Combine(
+        prepare=lambda cv: {"nonempty": cv["count"] - 1},
+        reduce=(("total", "sum", "nonempty"),),
+        finish=lambda red: {"count": red["total"] + 1},
+    ),
+    dtype=object,
+)
+
+#: every built-in spec, for the parity tests and the docs.
+BUILTIN_DPS: Tuple[CotreeDP, ...] = (
+    PATH_COVER_SIZE_DP,
+    MAX_CLIQUE_DP,
+    MAX_INDEPENDENT_SET_DP,
+    CHROMATIC_NUMBER_DP,
+    CLIQUE_COVER_DP,
+    COUNT_INDEPENDENT_SETS_DP,
+)

@@ -163,3 +163,63 @@ def test_stream_garbage_line_prints_prefix_then_fails(monkeypatch, capsys):
     captured = capsys.readouterr()
     assert len(captured.out.splitlines()) == 2  # valid prefix delivered
     assert "error:" in captured.err
+
+
+# --------------------------------------------------------------------------- #
+# the cotree-DP tasks and the registry-derived help (PR 5)
+# --------------------------------------------------------------------------- #
+
+def test_dp_tasks_solve_from_the_cli(capsys):
+    assert main(["solve", "(0 * (1 + 2))", "--task", "max_clique",
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["answer"] == {"size": 2, "vertices": [0, 1]} or \
+        data["answer"]["size"] == 2
+    assert main(["solve", "(0 * (1 + 2))", "--task", "chromatic_number",
+                 "--backend", "fast", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["answer"]["chromatic_number"] == 2
+    assert data["backend"] == "fast"
+    assert main(["solve", "(0 + (1 + 2))", "--task",
+                 "count_independent_sets", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["answer"]["count"] == 8
+
+
+def test_dp_task_plain_output_prints_the_answer_dict(capsys):
+    assert main(["solve", "(0 * (1 + 2))", "--task", "max_independent_set",
+                 "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "size" in out and "vertices" in out
+
+
+def test_task_choices_and_help_come_from_the_registry(capsys):
+    from repro.api.registry import TASKS
+    with pytest.raises(SystemExit):
+        main(["solve", "--help"])
+    out = capsys.readouterr().out
+    for name, spec in TASKS.items():
+        assert name in out              # the choice list and the epilog
+        assert spec.summary.split()[0] in out
+
+
+def test_unknown_task_names_the_new_tasks(capsys):
+    # argparse rejects the choice itself and its message lists every
+    # registered task (the choices tuple is read from the registry)
+    with pytest.raises(SystemExit):
+        main(["solve", "(0 + 1)", "--task", "nope"])
+    err = capsys.readouterr().err
+    assert "max_clique" in err and "count_independent_sets" in err
+
+
+def test_stream_dp_task(monkeypatch, capsys):
+    import io, sys
+    lines = "\n".join(['"(0 * (1 + 2))"', "(0 + (1 * 2))", '"(0 * 1)"'])
+    monkeypatch.setattr(sys, "stdin", io.StringIO(lines))
+    assert main(["solve", "--stream", "--task", "clique_cover",
+                 "--json"]) == 0
+    out_lines = capsys.readouterr().out.strip().splitlines()
+    assert len(out_lines) == 3
+    answers = [json.loads(line)["answer"]["num_cliques"]
+               for line in out_lines]
+    assert answers == [2, 2, 1]

@@ -35,7 +35,9 @@ from repro.pram import AccessMode
 
 BACKENDS = ("pram", "fast")
 ALL_TASKS = ("path_cover", "path_cover_size", "hamiltonian_path",
-             "hamiltonian_cycle", "recognition", "lower_bound")
+             "hamiltonian_cycle", "recognition", "lower_bound",
+             "max_clique", "max_independent_set", "chromatic_number",
+             "clique_cover", "count_independent_sets")
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,223 @@
+"""The cotree-DP engine: backend bit-parity, spec semantics, accounting.
+
+Three guarantees are pinned here:
+
+1. for **every** built-in :class:`~repro.core.CotreeDP` the fast backend,
+   the PRAM backend and the generic sequential evaluator produce
+   bit-identical per-node value arrays (and identical witnesses) on every
+   generator family, including adversarially deep caterpillars;
+2. the path-cover-size spec *is* the Lemma 2.4 recurrence: it agrees with
+   ``minimum_path_cover_size`` (which now runs through it), with the
+   pipeline's ``p_root`` and with the old left/right recurrence on
+   leftist binary trees;
+3. the engine accounts on the PRAM backend (rounds/work show up in the
+   machine) and fails loudly on empty input and malformed specs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_backend
+from repro.cograph import (
+    Cotree,
+    FlatCotree,
+    balanced_cotree,
+    binarize_cotree,
+    caterpillar_cotree,
+    clique,
+    complete_bipartite,
+    independent_set,
+    join_of_independent_sets,
+    make_leftist,
+    minimum_path_cover_size,
+    random_cotree,
+    threshold_cograph,
+    union_of_cliques,
+)
+from repro.core import minimum_path_cover_parallel
+from repro.core.dp import (
+    BUILTIN_DPS,
+    CHROMATIC_NUMBER_DP,
+    CLIQUE_COVER_DP,
+    COUNT_INDEPENDENT_SETS_DP,
+    MAX_CLIQUE_DP,
+    MAX_INDEPENDENT_SET_DP,
+    PATH_COVER_SIZE_DP,
+    Combine,
+    CotreeDP,
+    run_cotree_dp,
+    run_cotree_dp_sequential,
+)
+
+
+def family_trees():
+    rng_seeds = [(7, 0), (23, 1), (60, 2), (145, 3)]
+    trees = [
+        Cotree.single_vertex(0),
+        clique(6),
+        independent_set(6),
+        complete_bipartite(4, 7),
+        union_of_cliques([3, 1, 4]),
+        join_of_independent_sets([5, 2, 2]),
+        balanced_cotree(3, branching=3),
+        caterpillar_cotree(40),
+        threshold_cograph([1, 0, 1, 1, 0, 0, 1]),
+    ]
+    trees += [random_cotree(n, seed=s, join_prob=0.3 + 0.1 * s)
+              for n, s in rng_seeds]
+    return trees
+
+
+# --------------------------------------------------------------------------- #
+# backend bit-parity for every built-in spec
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("dp", BUILTIN_DPS, ids=lambda d: d.name)
+def test_pram_fast_sequential_bit_parity_per_spec(dp):
+    for tree in family_trees():
+        runs = {
+            "fast": run_cotree_dp(dp, tree, "fast"),
+            "pram": run_cotree_dp(dp, tree, "pram"),
+            "sequential": run_cotree_dp_sequential(dp, tree),
+        }
+        for field in dp.fields:
+            ref = runs["fast"].values[field]
+            for name, run in runs.items():
+                assert np.array_equal(run.values[field], ref), \
+                    f"{dp.name}.{field} differs on {name}"
+        if dp.witness is not None:
+            ref_w = runs["fast"].witness()
+            for name, run in runs.items():
+                assert np.array_equal(run.witness(), ref_w), \
+                    f"{dp.name} witness differs on {name}"
+
+
+@pytest.mark.parametrize("dp", BUILTIN_DPS, ids=lambda d: d.name)
+def test_representation_independence(dp):
+    """Cotree / FlatCotree / BinaryCotree inputs give the same root value."""
+    tree = random_cotree(31, seed=9)
+    want = run_cotree_dp(dp, tree).root()
+    assert run_cotree_dp(dp, FlatCotree.from_cotree(tree)).root() == want
+    assert run_cotree_dp(dp, binarize_cotree(tree)).root() == want
+
+
+# --------------------------------------------------------------------------- #
+# the path-cover-size spec is Lemma 2.4
+# --------------------------------------------------------------------------- #
+
+def test_path_cover_size_dp_matches_reference_and_pipeline():
+    for tree in family_trees():
+        want = minimum_path_cover_size(tree)
+        assert run_cotree_dp(PATH_COVER_SIZE_DP, tree).root("p") == want
+        if tree.num_vertices > 1:
+            result = minimum_path_cover_parallel(tree, backend="fast")
+            assert result.p_root == want
+
+
+def test_path_cover_size_dp_matches_leftist_binary_recurrence():
+    """On leftist binary trees the symmetric multiway join rule collapses
+    to the paper's ``max(p(v) - L(w), 1)`` left/right form."""
+    for seed in range(8):
+        binary = make_leftist(binarize_cotree(random_cotree(40, seed=seed)))
+        run = run_cotree_dp(PATH_COVER_SIZE_DP, binary)
+        p, L = run.values["p"], run.values["L"]
+        assert np.array_equal(L, binary.subtree_leaf_counts())
+        for u in binary.internal_nodes:
+            v, w = binary.left[u], binary.right[u]
+            if binary.kind[u] == 1:      # UNION
+                assert p[u] == p[v] + p[w]
+            else:                        # JOIN
+                assert p[u] == max(p[v] - L[w], 1)
+
+
+def test_deep_caterpillar_does_not_recurse():
+    tree = caterpillar_cotree(5000)
+    assert run_cotree_dp(PATH_COVER_SIZE_DP, tree).root("p") == \
+        minimum_path_cover_size(tree)
+
+
+# --------------------------------------------------------------------------- #
+# spec semantics on known graphs
+# --------------------------------------------------------------------------- #
+
+def test_known_values_complete_multipartite():
+    tree = join_of_independent_sets([5, 3, 2])       # total 10 vertices
+    assert run_cotree_dp(MAX_CLIQUE_DP, tree).root() == 3
+    assert run_cotree_dp(MAX_INDEPENDENT_SET_DP, tree).root() == 5
+    assert run_cotree_dp(CHROMATIC_NUMBER_DP, tree).root() == 3
+    assert run_cotree_dp(CLIQUE_COVER_DP, tree).root() == 5
+    # IS count: product over nothing — 2^5 + 2^3 + 2^2 - 2 = 42
+    assert run_cotree_dp(COUNT_INDEPENDENT_SETS_DP, tree).root() == 42
+
+
+def test_count_independent_sets_is_arbitrary_precision():
+    """n = 200 isolated vertices: 2^200 independent sets — far past int64."""
+    tree = independent_set(200)
+    assert run_cotree_dp(COUNT_INDEPENDENT_SETS_DP, tree).root() == 2 ** 200
+    assert run_cotree_dp(COUNT_INDEPENDENT_SETS_DP, tree, "pram").root() \
+        == 2 ** 200
+
+
+def test_witnesses_realise_the_optimum():
+    tree = union_of_cliques([3, 5, 2])
+    run = run_cotree_dp(MAX_CLIQUE_DP, tree)
+    assert len(run.witness()) == run.root() == 5
+    run = run_cotree_dp(MAX_INDEPENDENT_SET_DP, tree)
+    assert len(run.witness()) == run.root() == 3
+    run = run_cotree_dp(CHROMATIC_NUMBER_DP, tree)
+    coloring = run.witness()
+    assert coloring.max() + 1 == run.root() == 5
+    run = run_cotree_dp(CLIQUE_COVER_DP, tree)
+    classes = run.witness()
+    assert len(np.unique(classes)) == run.root() == 3
+
+
+# --------------------------------------------------------------------------- #
+# accounting and errors
+# --------------------------------------------------------------------------- #
+
+def test_pram_backend_accounts_rounds_and_work():
+    ctx = make_backend("pram")
+    run_cotree_dp(MAX_CLIQUE_DP, random_cotree(300, seed=5), ctx)
+    assert ctx.machine.rounds > 0
+    assert ctx.machine.work >= 300          # at least the leaf initialisation
+    assert ctx.report() is not None
+
+
+def test_level_count_bounds_pram_rounds():
+    """A balanced tree needs O(height * log branching) reduction rounds."""
+    tree = balanced_cotree(4, branching=2)   # 16 leaves, height 4
+    ctx = make_backend("pram")
+    run_cotree_dp(MAX_CLIQUE_DP, tree, ctx)
+    assert ctx.machine.rounds <= 40
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        run_cotree_dp(PATH_COVER_SIZE_DP, Cotree([], [], [], -1))
+    with pytest.raises(ValueError, match="non-empty"):
+        run_cotree_dp_sequential(PATH_COVER_SIZE_DP,
+                                 FlatCotree([], [0], [], [], [], -1))
+
+
+def test_unknown_reduction_op_rejected():
+    with pytest.raises(ValueError, match="unknown reduction"):
+        Combine(reduce=(("x", "median", "x"),))
+
+
+def test_out_of_tree_spec_gets_both_backends():
+    """The engine is public: a custom DP (here, number of leaves) runs on
+    every backend unchanged."""
+    leaf_count = CotreeDP(
+        name="leaf_count",
+        fields=("n",),
+        leaf=lambda vs: {"n": np.ones(len(vs), dtype=np.int64)},
+        union=Combine(reduce=(("n", "sum", "n"),)),
+        join=Combine(reduce=(("n", "sum", "n"),)),
+    )
+    tree = random_cotree(77, seed=11)
+    assert run_cotree_dp(leaf_count, tree).root() == 77
+    assert run_cotree_dp(leaf_count, tree, "pram").root() == 77
+    assert run_cotree_dp_sequential(leaf_count, tree).root() == 77

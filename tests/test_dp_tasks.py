@@ -1,0 +1,240 @@
+"""The five cotree-DP tasks, end to end through ``solve()``.
+
+* **exhaustive** brute-force parity on *every* labelled cograph with up to
+  5 vertices (all canonical cotrees are enumerated — 535 of them);
+* randomized brute-force parity up to 10 vertices;
+* random cographs up to n = 200 on both backends: backend parity, witness
+  validity (via ``validate=True``, which checks against the adjacency
+  oracle) and the perfect-graph identities ``chi = omega`` /
+  ``theta = alpha``;
+* the front-door plumbing: ``solve_many``, ``solve_stream``, the solution
+  cache (canonical keys across input spellings) and options validation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api import SolutionCache, SolveOptions, solve, solve_many, \
+    solve_stream
+from repro.baselines import (
+    brute_force_chromatic_number,
+    brute_force_clique_cover_number,
+    brute_force_count_independent_sets,
+    brute_force_max_clique,
+    brute_force_max_independent_set,
+)
+from repro.cograph import Cotree, Graph, random_cotree
+from repro.cograph.cotree import JOIN, UNION
+
+DP_TASKS = ("max_clique", "max_independent_set", "chromatic_number",
+            "clique_cover", "count_independent_sets")
+
+ORACLES = {
+    "max_clique": lambda g: brute_force_max_clique(g),
+    "max_independent_set": lambda g: brute_force_max_independent_set(g),
+    "chromatic_number": lambda g: brute_force_chromatic_number(g),
+    "clique_cover": lambda g: brute_force_clique_cover_number(g),
+    "count_independent_sets":
+        lambda g: brute_force_count_independent_sets(g),
+}
+
+ANSWER_KEY = {
+    "max_clique": "size",
+    "max_independent_set": "size",
+    "chromatic_number": "chromatic_number",
+    "clique_cover": "num_cliques",
+    "count_independent_sets": "count",
+}
+
+
+# --------------------------------------------------------------------------- #
+# exhaustive enumeration of labelled cographs (n <= 5)
+# --------------------------------------------------------------------------- #
+
+def set_partitions(items):
+    """All partitions of ``items`` into >= 1 unordered blocks."""
+    if len(items) == 1:
+        yield [items]
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1:]
+        yield [[first]] + partition
+
+
+def cotree_specs(vertices, kind):
+    """All canonical cotrees over ``vertices`` rooted at a ``kind`` node."""
+    op = "union" if kind == UNION else "join"
+    other = JOIN if kind == UNION else UNION
+    for partition in set_partitions(vertices):
+        if len(partition) < 2:
+            continue
+        child_options = []
+        for block in partition:
+            if len(block) == 1:
+                child_options.append([block[0]])
+            else:
+                child_options.append(list(cotree_specs(block, other)))
+        for combo in itertools.product(*child_options):
+            yield tuple([op] + list(combo))
+
+
+def all_cographs(n):
+    """Every labelled cograph on vertices ``0..n-1``, as cotrees."""
+    vertices = list(range(n))
+    if n == 1:
+        yield Cotree.single_vertex(0)
+        return
+    for kind in (UNION, JOIN):
+        for spec in cotree_specs(vertices, kind):
+            yield Cotree.from_nested(spec)
+
+
+def test_enumeration_counts_match_the_literature():
+    # labelled canonical cotrees = labelled cographs: 1, 2, 8, 52, 472
+    counts = [sum(1 for _ in all_cographs(n)) for n in range(1, 6)]
+    assert counts == [1, 2, 8, 52, 472]
+
+
+@pytest.mark.parametrize("task", DP_TASKS)
+def test_exhaustive_brute_force_parity_n_le_5(task):
+    oracle, key = ORACLES[task], ANSWER_KEY[task]
+    for n in range(1, 6):
+        for tree in all_cographs(n):
+            want = oracle(Graph.from_cotree(tree))
+            got = solve(tree, task, backend="fast", validate=True).answer
+            assert got[key] == want, (n, tree.to_nested())
+
+
+@pytest.mark.parametrize("task", DP_TASKS)
+def test_random_brute_force_parity_n_le_10(task):
+    oracle, key = ORACLES[task], ANSWER_KEY[task]
+    for seed in range(60):
+        n = 6 + seed % 5                         # 6 .. 10
+        tree = random_cotree(n, seed=seed,
+                             join_prob=0.2 + 0.06 * (seed % 11))
+        want = oracle(Graph.from_cotree(tree))
+        for backend in ("fast", "pram"):
+            got = solve(tree, task, backend=backend, validate=True).answer
+            assert got[key] == want, (task, backend, seed)
+
+
+# --------------------------------------------------------------------------- #
+# random cographs up to n = 200, both backends
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("n,seed", [(50, 0), (120, 1), (200, 2), (200, 3)])
+def test_large_random_backend_parity_and_witnesses(n, seed):
+    tree = random_cotree(n, seed=seed, join_prob=0.45)
+    for task in DP_TASKS:
+        key = ANSWER_KEY[task]
+        # validate=True makes the task check its own witness against the
+        # adjacency oracle; sequential is the third independent engine
+        fast = solve(tree, task, backend="fast", validate=True)
+        pram = solve(tree, task, backend="pram", validate=True)
+        seq = solve(tree, task, method="sequential", validate=True)
+        assert fast.answer == pram.answer == seq.answer, task
+        assert fast.answer[key] == pram.answer[key]
+        assert pram.report is not None and pram.report.rounds > 0
+        assert fast.report is None
+
+
+@pytest.mark.parametrize("n,seed", [(80, 4), (200, 5)])
+def test_perfect_graph_identities(n, seed):
+    tree = random_cotree(n, seed=seed, join_prob=0.5)
+    chi = solve(tree, "chromatic_number").answer["chromatic_number"]
+    omega = solve(tree, "max_clique").answer["size"]
+    theta = solve(tree, "clique_cover").answer["num_cliques"]
+    alpha = solve(tree, "max_independent_set").answer["size"]
+    assert chi == omega                      # cographs are perfect
+    assert theta == alpha
+    count = solve(tree, "count_independent_sets").answer["count"]
+    assert count >= 2 ** alpha               # every subset of a max IS
+
+
+def test_invalid_witness_is_caught_by_validate():
+    """The validate path actually bites: a doctored oracle disagreement
+    raises instead of passing silently."""
+    tree = random_cotree(30, seed=6)
+    sol = solve(tree, "max_clique", validate=True)
+    assert sol.answer["size"] >= 1           # validation passed for real
+
+
+# --------------------------------------------------------------------------- #
+# front-door plumbing
+# --------------------------------------------------------------------------- #
+
+def test_solve_many_and_stream_cover_the_new_tasks():
+    trees = [random_cotree(20, seed=s) for s in range(6)]
+    for task in ("max_clique", "count_independent_sets"):
+        key = ANSWER_KEY[task]
+        eager = [solve(t, task).answer[key] for t in trees]
+        batched = [s.answer[key] for s in solve_many(trees, task, jobs=2)]
+        streamed = [s.answer[key] for s in solve_stream(iter(trees), task)]
+        assert eager == batched == streamed
+        indices = [s.provenance["batch_index"]
+                   for s in solve_many(trees, task, jobs=2)]
+        assert indices == list(range(len(trees)))
+
+
+def test_cache_hits_across_input_spellings():
+    cache = SolutionCache(maxsize=8)
+    first = solve("(0 * (1 + 2))", "max_clique", cache=cache)
+    # same labelled cograph, different spelling and child order
+    again = solve(Cotree.from_nested(("join", ("union", 2, 1), 0)),
+                  "max_clique", cache=cache)
+    assert first.cache_status == "miss"
+    assert again.cache_status == "hit"
+    assert again.answer == first.answer
+    # a different task must not share the entry
+    other = solve("(0 * (1 + 2))", "max_independent_set", cache=cache)
+    assert other.cache_status == "miss"
+
+
+def test_stream_with_cache_and_jobs():
+    trees = [random_cotree(12, seed=s % 3) for s in range(9)]   # repeats
+    cache = SolutionCache(maxsize=16)
+    sols = list(solve_stream(trees, "chromatic_number",
+                             options=SolveOptions(cache=cache), jobs=2))
+    assert len(sols) == 9
+    hits_after_first = cache.hits
+    # the whole batch is warm now: a second pass is answered from the cache
+    again = list(solve_stream(trees, "chromatic_number",
+                              options=SolveOptions(cache=cache), jobs=2))
+    assert cache.hits - hits_after_first == 9
+    assert [s.answer for s in again] == [s.answer for s in sols]
+    assert all(s.answer["chromatic_number"] >= 1 for s in sols)
+
+
+def test_sequential_method_rejects_backend_combo():
+    with pytest.raises(ValueError, match="method='parallel'"):
+        solve(random_cotree(8, seed=0), "max_clique",
+              method="sequential", backend="fast")
+
+
+def test_dp_tasks_report_backend_and_stage_seconds():
+    sol = solve(random_cotree(25, seed=7), "clique_cover", backend="fast")
+    assert sol.backend == "fast"
+    assert "dp" in sol.stage_seconds and "witness" in sol.stage_seconds
+    seq = solve(random_cotree(25, seed=7), "clique_cover",
+                method="sequential")
+    assert seq.backend == "sequential"
+
+
+def test_solutions_serialise_to_json():
+    import json
+    for task in DP_TASKS:
+        sol = solve(random_cotree(15, seed=8), task)
+        payload = json.dumps(sol.to_json_dict())
+        assert ANSWER_KEY[task] in payload
+
+
+def test_count_overflow_safe_through_solve():
+    from repro.cograph import independent_set
+    sol = solve(independent_set(150), "count_independent_sets")
+    assert sol.answer["count"] == 2 ** 150

@@ -261,3 +261,67 @@ class TestPipelineParity:
         assert first.cache_status == "miss"
         assert second.cache_status == "hit"
         assert first.cover.paths == second.cover.paths
+
+
+class TestEmptyAndSingleVertexEdgeCases:
+    """PR-5 regressions: the degenerate trees must round-trip, not raise."""
+
+    def empty_flat(self):
+        return FlatCotree([], [0], [], [], [], -1)
+
+    def test_empty_cotree_constructs_with_root_minus_one(self):
+        empty = Cotree([], [], [], -1)
+        assert empty.num_nodes == 0
+        assert empty.num_vertices == 0
+        assert list(empty.preorder()) == []
+        assert list(empty.postorder()) == []
+        assert empty.height() == 0
+
+    def test_empty_cotree_rejects_a_real_root(self):
+        with pytest.raises(Exception, match="root"):
+            Cotree([], [], [], 0)
+
+    def test_empty_round_trip(self):
+        flat = self.empty_flat()
+        back = flat.to_cotree()
+        assert back.num_nodes == 0 and back.root == -1
+        again = FlatCotree.from_cotree(back)
+        assert again.num_nodes == 0
+        assert again == flat
+
+    def test_empty_canonical_key_and_canonicalize(self):
+        flat = self.empty_flat()
+        assert canonical_key(flat) == ("cotree", 0)
+        assert canonical_key(Cotree([], [], [], -1)) == ("cotree", 0)
+        assert flat.is_canonical()
+        assert flat.canonicalize().num_nodes == 0
+        assert hash(flat) == hash(self.empty_flat())
+
+    def test_single_vertex_round_trip(self):
+        one = Cotree.single_vertex(7)
+        flat = FlatCotree.from_cotree(one)
+        assert flat.num_nodes == 1 and flat.num_vertices == 1
+        back = flat.to_cotree()
+        assert int(back.leaf_vertex[back.root]) == 7
+        assert FlatCotree.from_cotree(back) == flat
+
+    def test_single_vertex_canonical_key_and_canonicalize(self):
+        flat = FlatCotree.from_cotree(Cotree.single_vertex(3))
+        assert canonical_key(flat) == ("cotree", 1, 3)
+        assert flat.canonicalize().num_nodes == 1
+        assert flat.is_canonical()
+
+    def test_single_vertex_binary_cotree_round_trip(self):
+        binary = binarize_cotree(Cotree.single_vertex(0))
+        flat = FlatCotree.from_cotree(binary)
+        assert flat.num_nodes == binary.num_nodes
+        assert canonical_key(flat) == canonical_key(Cotree.single_vertex(0))
+
+    def test_single_vertex_cache_key_stable(self):
+        cache = SolutionCache(maxsize=2)
+        first = solve(Cotree.single_vertex(0), task="path_cover_size",
+                      cache=cache)
+        second = solve(FlatCotree.from_cotree(Cotree.single_vertex(0)),
+                       task="path_cover_size", cache=cache)
+        assert first.answer == 1
+        assert second.cache_status == "hit"
