@@ -1,37 +1,42 @@
-"""E11 + E12 — wall-clock profiles of the flat-array hot path.
+"""E11 + E12 + E13 — wall-clock profiles of the flat-array hot path.
 
 Every future PR needs a trajectory to compare against: this harness runs
 
 * **E11** — the eight-stage pipeline on fixed instances (``random_cotree``,
   seeds pinned) at n ∈ {1k, 10k, 100k} on both execution backends, with
-  per-stage wall-clock, and
+  per-stage wall-clock,
 * **E12** — the cotree-DP engine: the five DP tasks (``max_clique``,
   ``max_independent_set``, ``chromatic_number``, ``clique_cover``,
   ``count_independent_sets``) end to end through ``solve()`` on the same
   instances; ``max_clique`` at n = 100k must stay within 2x the pipeline
   total that the PR 4 ``lower_bound`` task used to pay at that size (the
-  DP replaces a full cover run),
+  DP replaces a full cover run), and
+* **E13** — forest batching: thousands of small instances (n <= 100)
+  solved by one :func:`repro.api.solve_forest` sweep vs the pooled batch
+  front door (``solve_many(jobs=0)``, one worker per CPU); the full run
+  must show >= 10x throughput on ``path_cover_size`` and ``max_clique``,
 
-and writes both as machine-readable JSON
-(``benchmarks/results/BENCH_PR5.json``) next to the human-readable
-``benchmarks/results/E11.md`` / ``E12.md`` tables.
+and writes everything as machine-readable JSON
+(``benchmarks/results/BENCH_PR6.json``) next to the human-readable
+``benchmarks/results/E11.md`` / ``E12.md`` / ``E13.md`` tables.
 
 The JSON also stores a *calibration* measurement (a fixed NumPy workload),
 so a later run on a different machine can scale the baseline before
 comparing: ``--check BASELINE.json`` fails (exit 1) when any pipeline stage
 or DP task is more than ``--factor`` (default 2.0) slower than the
-calibrated baseline — the CI ``perf-smoke`` job runs exactly that against
-the checked-in baseline.
+calibrated baseline, or when an E13 forest-vs-batch ratio collapses — the
+CI ``perf-smoke`` job runs exactly that against the checked-in baseline.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_profile.py            # full run
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke \
-        --check benchmarks/results/BENCH_PR5.json                # regression
+        --check benchmarks/results/BENCH_PR6.json                # regression
 """
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -40,7 +45,7 @@ import time
 import numpy as np
 
 from repro._version import __version__
-from repro.api import solve
+from repro.api import solve, solve_forest, solve_many
 from repro.cograph import FlatCotree, random_cotree
 from repro.core.pipeline import Pipeline
 
@@ -71,11 +76,20 @@ FULL_DP_GRID = [
 ]
 SMOKE_DP_GRID = [("fast", 10_000, 3)]
 
+#: the E13 forest-batching grid: (task, instances, n_max, repeats).  Both
+#: tasks run the same pinned instance mix; the baseline is the pooled batch
+#: front door (``solve_many(jobs=0)``), the contender one single-core
+#: ``solve_forest`` sweep.
+E13_TASKS = ("path_cover_size", "max_clique")
+FULL_E13_GRID = [(task, 10_000, 100, 3) for task in E13_TASKS]
+SMOKE_E13_GRID = [(task, 2_000, 64, 2) for task in E13_TASKS]
+
 SEED = 7
-DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR5.json")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR6.json")
 COLUMNS = ["backend", "n", "input", "total_s"] + list(
     Pipeline.default().stages)
 DP_COLUMNS = ["backend", "n"] + list(DP_TASKS)
+E13_COLUMNS = ["task", "instances", "max_n", "batch_s", "forest_s", "ratio"]
 
 
 def calibrate() -> float:
@@ -155,6 +169,91 @@ def run_dp_grid(grid):
     return results
 
 
+def _e13_instances(count: int, n_max: int):
+    """``count`` pinned-seed small cographs with mixed sizes in [1, n_max]."""
+    rng = np.random.default_rng(SEED)
+    sizes = rng.integers(1, n_max + 1, size=count)
+    return [FlatCotree.from_cotree(random_cotree(int(n), seed=SEED + i))
+            for i, n in enumerate(sizes)]
+
+
+def profile_forest(task: str, instances: int, n_max: int, repeats: int):
+    """Best-of-``repeats`` seconds for one E13 point: the pooled batch front
+    door vs one :func:`solve_forest` sweep, answers cross-checked.
+
+    Both sides run the fast engine explicitly (``backend="fast"``, the route
+    the deprecated ``solve_batch`` always took) so the comparison isolates
+    per-instance dispatch overhead — for ``path_cover_size`` the *default*
+    options would instead hit the sequential analytic shortcut, a different
+    algorithm entirely.  The GC is paused around each timed region (as
+    ``timeit`` does) for both sides alike: the 10k held Solution objects
+    otherwise make collector pauses the dominant noise term."""
+    trees = _e13_instances(instances, n_max)
+    opts = {"backend": "fast"}
+
+    def timed_best(fn):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                result = fn()
+                best = min(best, time.perf_counter() - t0)
+            finally:
+                gc.enable()
+        return best, result
+
+    batch_best, batch = timed_best(
+        lambda: solve_many(trees, task, jobs=0, **opts))
+    batch_answers = [s.answer for s in batch]
+    forest_best, swept = timed_best(
+        lambda: solve_forest(trees, task, **opts))
+    forest_answers = [s.answer for s in swept]
+    if forest_answers != batch_answers:
+        raise AssertionError(
+            f"E13 {task}: forest answers diverge from the pooled batch")
+    ratio = batch_best / max(forest_best, 1e-9)
+    return {"task": task, "instances": instances, "max_n": n_max,
+            "repeats": repeats, "batch_seconds": round(batch_best, 6),
+            "forest_seconds": round(forest_best, 6),
+            "ratio": round(ratio, 2)}
+
+
+def run_e13_grid(grid):
+    results = []
+    for task, instances, n_max, repeats in grid:
+        results.append(profile_forest(task, instances, n_max, repeats))
+        r = results[-1]
+        print(f"  e13 {task:<16s} {instances} x n<={n_max}: "
+              f"batch={r['batch_seconds']:.3f}s "
+              f"forest={r['forest_seconds']:.3f}s ratio={r['ratio']:.1f}x",
+              flush=True)
+    return results
+
+
+def check_e13_bound(payload: dict, baseline: dict, factor: float) -> list:
+    """E13 acceptance: the forest sweep must stay decisively faster than the
+    pooled batch.  The ratio divides two timings taken on the same machine,
+    so no calibration scaling applies; each current ratio must hold at least
+    ``max(3, min(base_ratio / (2 * factor), 8))`` — an absolute 3x floor,
+    tightened toward the baseline's own ratio but capped so a very fast
+    baseline machine cannot make slow-but-healthy CI boxes fail."""
+    base_rows = {r["task"]: r for r in baseline.get("e13_results", [])}
+    failures = []
+    for row in payload.get("e13_results", []):
+        ref = base_rows.get(row["task"])
+        if ref is None:
+            continue
+        need = max(3.0, min(ref["ratio"] / (2.0 * factor), 8.0))
+        if row["ratio"] < need:
+            failures.append(
+                f"E13 {row['task']}: forest-vs-batch ratio "
+                f"{row['ratio']:.1f}x < required {need:.1f}x "
+                f"(baseline {ref['ratio']:.1f}x)")
+    return failures
+
+
 def check_e12_bound(payload: dict, baseline: dict, factor: float) -> list:
     """E12 acceptance: DP ``max_clique`` at the top fast grid point must be
     within ``factor`` x the (calibration-scaled) pipeline total there — the
@@ -214,6 +313,11 @@ def check_against(base: dict, current: dict, factor: float) -> int:
                     f"dp {row['backend']} n={row['n']} task {task!r}: "
                     f"{sec:.4f}s > {factor:.1f} x {budget:.4f}s")
     failures += check_e12_bound(current, base, factor)
+    e13_failures = check_e13_bound(current, base, factor)
+    compared += sum(1 for row in current.get("e13_results", [])
+                    if row["task"] in {r["task"]
+                                       for r in base.get("e13_results", [])})
+    failures += e13_failures
     if not compared:
         print("perf-check: no comparable grid points in baseline", flush=True)
         return 1
@@ -262,19 +366,23 @@ def main(argv=None) -> int:
 
     grid = SMOKE_GRID if args.smoke else FULL_GRID
     dp_grid = SMOKE_DP_GRID if args.smoke else FULL_DP_GRID
-    print(f"[E11] per-stage profile ({'smoke' if args.smoke else 'full'}):")
+    e13_grid = SMOKE_E13_GRID if args.smoke else FULL_E13_GRID
+    label = "smoke" if args.smoke else "full"
+    print(f"[E11] per-stage profile ({label}):")
     t0 = time.perf_counter()
     payload = {
-        "schema": 2,
-        "experiment": "E11+E12",
+        "schema": 3,
+        "experiment": "E11+E12+E13",
         "version": __version__,
         "seed": SEED,
         "smoke": bool(args.smoke),
         "calibration_seconds": round(calibrate(), 6),
         "results": run_grid(grid),
     }
-    print(f"[E12] cotree-DP tasks ({'smoke' if args.smoke else 'full'}):")
+    print(f"[E12] cotree-DP tasks ({label}):")
     payload["dp_results"] = run_dp_grid(dp_grid)
+    print(f"[E13] forest batching vs pooled batch ({label}):")
+    payload["e13_results"] = run_e13_grid(e13_grid)
     payload["harness_seconds"] = round(time.perf_counter() - t0, 3)
 
     os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
@@ -302,9 +410,32 @@ def main(argv=None) -> int:
             dp_rows.append(row)
         write_result_table("E12", "cotree-DP tasks end to end via solve() "
                            "(seconds, best of repeats)", dp_rows, DP_COLUMNS)
+        e13_rows = [{"task": r["task"], "instances": r["instances"],
+                     "max_n": r["max_n"],
+                     "batch_s": round(r["batch_seconds"], 4),
+                     "forest_s": round(r["forest_seconds"], 4),
+                     "ratio": f"{r['ratio']:.1f}x"}
+                    for r in payload["e13_results"]]
+        write_result_table("E13", "forest batching: one solve_forest sweep "
+                           "vs the pooled batch front door "
+                           "(solve_many, jobs=0)", e13_rows, E13_COLUMNS)
+
+    # E13 acceptance target: the full run must show >= 10x on every task
+    # (the smoke run is gated relative to the stored baseline instead).
+    rc = 0
+    if not args.smoke:
+        low = [r for r in payload["e13_results"] if r["ratio"] < 10.0]
+        for r in low:
+            print(f"E13 target FAILED: {r['task']} forest-vs-batch ratio "
+                  f"{r['ratio']:.1f}x < 10x")
+        if low:
+            rc = 1
+        else:
+            print("E13 target OK: forest sweep >= 10x the pooled batch on "
+                  "every task")
 
     if baseline is not None:
-        return check_against(baseline, payload, args.factor)
+        return check_against(baseline, payload, args.factor) or rc
     # no external baseline: still enforce the E12 acceptance bound against
     # this very run's pipeline profile
     failures = check_e12_bound(payload, payload, args.factor)
@@ -315,7 +446,7 @@ def main(argv=None) -> int:
         return 1
     print("E12 bound OK: max_clique within "
           f"{args.factor:.1f}x of the pipeline total at every fast point")
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

@@ -15,6 +15,12 @@ Three claims, one harness:
    keyed on the canonical cotree form answers re-asked instances without
    running anything; the hit-rate and speedup on a skewed request mix are
    reported.
+4. **Tiny instances batch as forests.**  Thousands of small instances go
+   through one vectorized :func:`repro.api.solve_forest` sweep (and its
+   ``SolveOptions(batch_small=...)`` stream routing) faster than through
+   the pooled batch front door — the E13 claim, exercised here in the
+   streaming harness (the authoritative numbers live in
+   ``bench_profile.py``).
 
 Run standalone for the smoke configuration used by CI::
 
@@ -24,7 +30,13 @@ Run standalone for the smoke configuration used by CI::
 import sys
 import time
 
-from repro.api import SolutionCache, solve_many, solve_stream
+from repro.api import (
+    SolutionCache,
+    SolveOptions,
+    solve_forest,
+    solve_many,
+    solve_stream,
+)
 from repro.cograph import minimum_path_cover_size, random_cotree
 from repro.core import WorkerPool, solve_batch
 
@@ -37,6 +49,10 @@ SMOKE_STREAM_COUNT = 2_000
 #: sustained-traffic shape: many small batches
 POOL_BATCHES, POOL_BATCH_SIZE, POOL_TREE_N = 40, 8, 64
 SMOKE_POOL_BATCHES = 12
+
+#: forest-batching shape: many tiny instances in one sweep
+FOREST_COUNT, FOREST_N_MAX = 10_000, 64
+SMOKE_FOREST_COUNT = 1_000
 
 COLUMNS = ["scenario", "instances", "jobs", "seconds", "inst/s", "detail"]
 
@@ -153,6 +169,47 @@ def run_cache_repeat_traffic(requests: int = 600, distinct: int = 20,
 
 
 # --------------------------------------------------------------------------- #
+# 4. forest batching: one vectorized sweep over thousands of tiny instances
+# --------------------------------------------------------------------------- #
+
+def run_forest_batching(count: int, n_max: int = FOREST_N_MAX,
+                        jobs: int = 2):
+    """Tiny-instance traffic: the pooled batch front door vs one
+    :func:`solve_forest` sweep vs the ``batch_small`` stream routing."""
+    trees = [random_cotree(2 + i % (n_max - 1), seed=i)
+             for i in range(count)]
+
+    t0 = time.perf_counter()
+    pooled = solve_many(trees, "path_cover_size", backend="fast", jobs=jobs)
+    pooled_t = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    swept = solve_forest(trees, "path_cover_size", backend="fast")
+    forest_t = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    streamed = list(solve_stream(
+        iter(trees), "path_cover_size",
+        options=SolveOptions(backend="fast", batch_small=n_max)))
+    stream_t = time.perf_counter() - t0
+
+    answers = [s.answer for s in swept]
+    assert answers == [s.answer for s in pooled]
+    assert answers == [s.answer for s in streamed]
+    assert all(s.provenance["route"] == "forest" for s in swept)
+    speedup = pooled_t / max(forest_t, 1e-9)
+    rows = [
+        _row("pooled solve_many (tiny instances)", count, jobs, pooled_t,
+             f"n <= {n_max}"),
+        _row("solve_forest (one packed sweep)", count, 1, forest_t,
+             f"{speedup:.1f}x vs pooled batch"),
+        _row("solve_stream batch_small (forest-routed)", count, 1, stream_t,
+             f"{pooled_t / max(stream_t, 1e-9):.1f}x vs pooled batch"),
+    ]
+    return rows, speedup
+
+
+# --------------------------------------------------------------------------- #
 # harness entry points
 # --------------------------------------------------------------------------- #
 
@@ -171,12 +228,15 @@ def run_all(*, smoke: bool):
     cache_rows, _ = run_cache_repeat_traffic(
         requests=120 if smoke else 600, distinct=12 if smoke else 20)
     rows.extend(cache_rows)
-    return rows, pool_speedup
+    forest_rows, forest_speedup = run_forest_batching(
+        SMOKE_FOREST_COUNT if smoke else FOREST_COUNT)
+    rows.extend(forest_rows)
+    return rows, pool_speedup, forest_speedup
 
 
 def test_stream_throughput_table(benchmark):
     """The E10 table: bounded streaming, warm pools, cache hit-rates."""
-    rows, pool_speedup = run_all(smoke=True)
+    rows, pool_speedup, forest_speedup = run_all(smoke=True)
     write_result_table("E10", "streaming scale-out — persistent pools + "
                        "solve_stream", rows, COLUMNS)
 
@@ -184,6 +244,9 @@ def test_stream_throughput_table(benchmark):
     # forking a fresh pool per call on repeated small batches
     assert pool_speedup > 1.0, \
         f"persistent pool {pool_speedup:.2f}x <= per-call solve_batch"
+    # and one forest sweep must beat the pooled batch on tiny instances
+    assert forest_speedup > 1.0, \
+        f"solve_forest {forest_speedup:.2f}x <= pooled solve_many"
 
     benchmark(lambda: list(
         solve_stream((random_cotree(12, seed=i) for i in range(100)),
@@ -194,12 +257,16 @@ def main(argv=None) -> int:
     """Standalone entry point (used by the CI smoke run)."""
     argv = list(sys.argv[1:] if argv is None else argv)
     smoke = "--smoke" in argv
-    rows, pool_speedup = run_all(smoke=smoke)
+    rows, pool_speedup, forest_speedup = run_all(smoke=smoke)
     write_result_table("E10", "streaming scale-out — persistent pools + "
                        "solve_stream", rows, COLUMNS)
     print(f"persistent pool vs per-call solve_batch: {pool_speedup:.2f}x")
+    print(f"solve_forest vs pooled solve_many: {forest_speedup:.2f}x")
     if pool_speedup <= 1.0:
         print("FAIL: the persistent WorkerPool did not beat per-call pools")
+        return 1
+    if forest_speedup <= 1.0:
+        print("FAIL: the forest sweep did not beat the pooled batch")
         return 1
     return 0
 

@@ -109,6 +109,7 @@ from .api import (
     as_problem,
     register_task,
     solve,
+    solve_forest,
     solve_many,
     solve_stream,
     task_names,
@@ -117,8 +118,8 @@ from .api import (
 __all__ = [
     "__version__",
     # the front door
-    "solve", "solve_many", "solve_stream", "SolveOptions", "Solution",
-    "SolutionCache", "WorkerPool",
+    "solve", "solve_many", "solve_stream", "solve_forest", "SolveOptions",
+    "Solution", "SolutionCache", "WorkerPool",
     "Problem", "as_problem", "register_task", "task_names", "METHOD_NAMES",
     # substrate
     "Cotree", "BinaryCotree", "Graph", "PathCover", "CographAdjacencyOracle",

@@ -103,6 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache", type=int, default=None, metavar="SIZE",
                      help="answer repeated identical instances from an "
                           "LRU cache of SIZE entries")
+    run.add_argument("--batch-small", type=int, default=None, metavar="N",
+                     help="for --stream: sweep instances of at most N "
+                          "vertices in vectorized forest batches instead "
+                          "of the worker pool")
 
     sub.add_parser("tasks", help="list the registered tasks")
     return parser
@@ -153,7 +157,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     cache = SolutionCache(args.cache) if args.cache is not None else None
     options = SolveOptions(method=args.method, backend=args.backend,
                            num_processors=args.num_processors,
-                           validate=args.validate, cache=cache)
+                           validate=args.validate, cache=cache,
+                           batch_small=args.batch_small)
     if args.stream:
         if args.input is not None:
             raise ValueError("--stream reads problems from stdin; drop the "
@@ -172,9 +177,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.input is None:
         raise ValueError("INPUT is required unless --stream is given")
     if args.jobs is not None or args.window is not None \
-            or args.chunksize != 1 or args.cache is not None:
-        raise ValueError("--jobs/--window/--chunksize/--cache only apply "
-                         "to --stream")
+            or args.chunksize != 1 or args.cache is not None \
+            or args.batch_small is not None:
+        raise ValueError("--jobs/--window/--chunksize/--cache/--batch-small "
+                         "only apply to --stream")
     problem = (_parse_bits(args.input, args.task) if _takes_bits(args.task)
                else args.input)
     solution = solve(problem, args.task, options=options)

@@ -26,6 +26,7 @@ True
 
 from .adapters import SOURCE_FORMATS, Problem, as_problem
 from .cache import SolutionCache, canonical_cotree_key
+from .forest import FOREST_TASKS, solve_forest
 from .options import METHOD_NAMES, SolveOptions
 from .registry import TaskSpec, get_task, register_task, task_names
 from .solution import Solution
@@ -34,7 +35,7 @@ from .solve import solve, solve_many, solve_stream
 from . import tasks as _tasks  # noqa: F401  (registers the built-in tasks)
 
 __all__ = [
-    "solve", "solve_many", "solve_stream",
+    "solve", "solve_many", "solve_stream", "solve_forest", "FOREST_TASKS",
     "SolveOptions", "Solution", "SolutionCache", "canonical_cotree_key",
     "Problem", "as_problem", "SOURCE_FORMATS", "METHOD_NAMES",
     "register_task", "task_names", "get_task", "TaskSpec",

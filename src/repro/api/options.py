@@ -59,6 +59,15 @@ class SolveOptions:
         front door — identical instances are answered without re-running
         anything.  Lives in the calling process only: it never crosses a
         process boundary and is excluded from :meth:`to_dict`.
+    batch_small:
+        batch/stream routing threshold: instances with at most this many
+        vertices are diverted from the worker pool into single-core
+        vectorized *forest sweeps* (:func:`~repro.api.solve_forest`) by
+        :func:`~repro.api.solve_many` / :func:`~repro.api.solve_stream`.
+        ``None`` (the default) disables the diversion.  Like ``cache``
+        this is a *dispatch* knob, not an engine choice: it never changes
+        any answer, is excluded from :meth:`to_dict`, and does not
+        perturb cache keys.
     """
 
     method: str = "parallel"
@@ -69,6 +78,7 @@ class SolveOptions:
     validate: bool = False
     record_steps: bool = False
     cache: Optional[SolutionCache] = None
+    batch_small: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHOD_NAMES:
@@ -83,6 +93,12 @@ class SolveOptions:
                                                      SolutionCache):
             raise TypeError(f"cache must be a SolutionCache or None, "
                             f"got {type(self.cache).__name__}")
+        if self.batch_small is not None:
+            threshold = int(self.batch_small)
+            if threshold < 1:
+                raise ValueError(f"batch_small must be >= 1 or None, "
+                                 f"got {self.batch_small!r}")
+            object.__setattr__(self, "batch_small", threshold)
 
         if self.method == "sequential":
             bad = self._non_default_parallel_knobs()
@@ -153,9 +169,11 @@ class SolveOptions:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable dict (``mode`` as its string value; the
-        ``cache`` — a live in-process object — is excluded)."""
+        dispatch-only knobs — the live ``cache`` object and the
+        ``batch_small`` routing threshold — are excluded: neither changes
+        what a solve computes)."""
         out = {f.name: getattr(self, f.name) for f in fields(self)
-               if f.name != "cache"}
+               if f.name not in ("cache", "batch_small")}
         out["mode"] = self.mode.value
         return out
 

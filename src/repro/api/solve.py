@@ -71,7 +71,13 @@ def _reject_pipeline_options(task: str, options: SolveOptions) -> None:
 
 #: provenance keys that describe one *call*, not the instance — never
 #: inherited from the stored entry by a cache hit.
-_CALL_PROVENANCE = ("batch_index", "source", "source_format", "cache")
+_CALL_PROVENANCE = ("batch_index", "source", "source_format", "cache",
+                    "route")
+
+#: instances buffered per forest sweep by the ``batch_small`` stream
+#: routing — large enough to amortise the packed pass, small enough to
+#: keep the stream flowing.
+_FOREST_FLUSH = 1024
 
 
 def _from_cache(hit: Solution, prob: Problem) -> Solution:
@@ -160,7 +166,12 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
     options / option_fields:
         as for :func:`solve`.  With a ``cache`` set, hits are answered in
         the calling process and never reach a worker; misses are inserted
-        as they complete.
+        as they complete.  With ``batch_small=N`` set, instances of at
+        most ``N`` vertices are diverted from the worker pool into
+        single-core vectorized forest sweeps
+        (:func:`~repro.api.solve_forest`) of up to 1024 instances each —
+        far cheaper than a worker round-trip for tiny instances
+        (``provenance["route"]`` reports which way each instance went).
     jobs:
         worker processes (``None``/``1`` in-process and fully lazy, ``0``
         one per CPU).  Ignored when ``pool`` is given.
@@ -182,14 +193,45 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
     opts = _resolve_options(options, option_fields)
     spec = get_task(task)  # fail fast on unknown tasks, before adapting
     cache = opts.cache
-    worker_opts = opts.with_(cache=None) if cache is not None else opts
+    threshold = opts.batch_small
+    worker_opts = opts.with_(cache=None, batch_small=None) \
+        if (cache is not None or threshold is not None) else opts
     if not spec.runs_pipeline:
         _reject_pipeline_options(task, worker_opts)
     keys: Dict[int, Tuple] = {}
 
+    forest_ok = False
+    if threshold is not None:
+        # imported here: repro.api.forest itself imports solve() from this
+        # module for its serial fallback
+        from .forest import _forest_supported, _solve_forest_problems
+        forest_ok = _forest_supported(task, opts)
+
+    def flush_forest(buffered):
+        """Sweep the buffered small instances; Resolved, in buffer order."""
+        solutions = _solve_forest_problems([p for _, p in buffered],
+                                           task, opts)
+        out = []
+        for (index, _), solution in zip(buffered, solutions):
+            solution.provenance["batch_index"] = index
+            out.append(Resolved(solution.without_machine()))
+        return out
+
     def payloads():
+        buffer = []
         for index, raw in enumerate(problems):
             prob = as_problem(raw, task=task)
+            if forest_ok and prob.num_vertices <= threshold:
+                buffer.append((index, prob))
+                if len(buffer) >= _FOREST_FLUSH:
+                    yield from flush_forest(buffer)
+                    buffer = []
+                continue
+            # solutions come back in payload order, so the pending small
+            # instances must be swept before any later payload goes out
+            if buffer:
+                yield from flush_forest(buffer)
+                buffer = []
             if cache is not None:
                 key = cache.key_for(prob, task, worker_opts)
                 if key is not None:
@@ -201,6 +243,11 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
                         continue
                     keys[index] = key
             yield (index, prob, task, worker_opts)
+        if buffer:
+            yield from flush_forest(buffer)
+
+    pool_route = "pool" if (pool.jobs if pool is not None
+                            else resolve_jobs(jobs)) > 1 else "serial"
 
     def results():
         for solution in stream_out(_solve_one_payload, payloads(),
@@ -211,6 +258,9 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
                 if key is not None:
                     solution.provenance["cache"] = "miss"
                     cache.put(key, solution)
+            if "route" not in solution.provenance and \
+                    solution.provenance.get("cache") != "hit":
+                solution.provenance["route"] = pool_route
             yield solution
 
     return results()

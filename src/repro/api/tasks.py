@@ -122,12 +122,13 @@ def _task_path_cover(problem: Problem, options: SolveOptions) -> Solution:
                        "options, the configured engine otherwise")
 def _task_path_cover_size(problem: Problem,
                           options: SolveOptions) -> Solution:
-    if options.with_(cache=None) == SolveOptions():
+    if options.with_(cache=None, batch_small=None) == SolveOptions():
         # all-default options: the cheap Lemma 2.4 recurrence, no pipeline.
         # Any non-default option (a backend, PRAM knobs, validate, a
         # method) runs the configured engine instead, so nothing the
-        # caller asked for is silently dropped.  A cache is not an engine
-        # choice, so it does not force the pipeline.
+        # caller asked for is silently dropped.  A cache or a batch
+        # routing threshold is not an engine choice, so neither forces
+        # the pipeline.
         size = int(minimum_path_cover_size(problem.cotree()))
         return Solution(task="path_cover_size", answer=size,
                         backend="analytic", options=options, num_paths=size)

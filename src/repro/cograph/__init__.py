@@ -9,6 +9,7 @@ join, complement), recognition from a plain graph, adjacency oracles, and the
 from .binary import BinaryCotree, binarize_cotree
 from .cotree import JOIN, LEAF, UNION, Cotree, CotreeError, kind_name
 from .flat import FlatCotree, as_flat_cotree, canonical_key
+from .forest import BinaryForest, FlatForest, pack, unpack
 from .generators import (
     balanced_cotree,
     caterpillar_cotree,
@@ -44,6 +45,7 @@ __all__ = [
     "LEAF", "UNION", "JOIN", "kind_name",
     "Cotree", "CotreeError", "BinaryCotree", "binarize_cotree",
     "FlatCotree", "as_flat_cotree", "canonical_key",
+    "FlatForest", "BinaryForest", "pack", "unpack",
     "Graph", "CographAdjacencyOracle",
     "PathCover", "PathCoverError",
     "single_vertex", "independent_set", "clique", "complete_bipartite",

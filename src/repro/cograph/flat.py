@@ -63,7 +63,8 @@ class FlatCotree:
     """
 
     __slots__ = ("kind", "child_offset", "child_index", "parent",
-                 "leaf_vertex", "root")
+                 "leaf_vertex", "root",
+                 "_leaves", "_internal", "_vertices", "_degrees")
 
     def __init__(self, kind, child_offset, child_index, parent, leaf_vertex,
                  root: int) -> None:
@@ -73,6 +74,11 @@ class FlatCotree:
         self.parent = np.asarray(parent, dtype=np.int64)
         self.leaf_vertex = np.asarray(leaf_vertex, dtype=np.int64)
         self.root = int(root)
+        # lazily-computed derived arrays (hot in the DP level loop)
+        self._leaves = None
+        self._internal = None
+        self._vertices = None
+        self._degrees = None
         n = len(self.kind)
         if len(self.child_offset) != n + 1:
             raise CotreeError("child_offset must have num_nodes + 1 entries")
@@ -145,26 +151,34 @@ class FlatCotree:
     @property
     def num_vertices(self) -> int:
         """Number of cograph vertices (= leaves)."""
-        return int(np.count_nonzero(self.kind == LEAF))
+        return len(self.leaves)
 
     @property
     def leaves(self) -> np.ndarray:
-        """Array of leaf node ids."""
-        return np.flatnonzero(self.kind == LEAF)
+        """Array of leaf node ids (computed once, cached)."""
+        if self._leaves is None:
+            self._leaves = np.flatnonzero(self.kind == LEAF)
+        return self._leaves
 
     @property
     def internal_nodes(self) -> np.ndarray:
-        """Array of internal node ids."""
-        return np.flatnonzero(self.kind != LEAF)
+        """Array of internal node ids (computed once, cached)."""
+        if self._internal is None:
+            self._internal = np.flatnonzero(self.kind != LEAF)
+        return self._internal
 
     @property
     def vertices(self) -> np.ndarray:
-        """Sorted array of vertex ids."""
-        return np.sort(self.leaf_vertex[self.kind == LEAF])
+        """Sorted array of vertex ids (computed once, cached)."""
+        if self._vertices is None:
+            self._vertices = np.sort(self.leaf_vertex[self.kind == LEAF])
+        return self._vertices
 
     def degrees(self) -> np.ndarray:
-        """Child count of every node."""
-        return np.diff(self.child_offset)
+        """Child count of every node (computed once, cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.child_offset)
+        return self._degrees
 
     def children_of(self, node: int) -> np.ndarray:
         """Children of ``node`` (a CSR slice view)."""

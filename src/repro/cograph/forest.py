@@ -1,0 +1,230 @@
+"""Packing many small cotrees into one disjoint CSR forest.
+
+The level-wise DP engine (:mod:`repro.core.dp`) and the path-cover pipeline
+are loop-free *per instance*: every stage is a handful of NumPy dispatches
+over arrays indexed by node id.  At small ``n`` that fixed dispatch cost
+dominates, so solving thousands of tiny instances one by one (or fanning
+them out over a process pool, paying pickling on top) wastes almost all of
+its time outside the actual arithmetic.
+
+Because both the engine and the pipeline key everything off ``parent`` /
+``child_offset`` arrays — and none of the kernels ever walks *across* a
+``-1`` parent — a list of instances can be concatenated into one big
+disjoint forest and swept in a single pass:
+
+* :class:`FlatForest` is a :class:`FlatCotree` whose arrays hold ``k``
+  disjoint trees.  Node ids, CSR edges and (crucially) *vertex ids* are
+  globally shifted so the packed object looks like one giant instance;
+  ``node_base`` / ``vertex_base`` offset arrays and a per-node
+  ``instance_id`` recover the per-instance view.
+* :func:`pack` builds a forest from a list of trees; :func:`unpack` inverts
+  it exactly (``unpack(pack(ts))[i] == as_flat_cotree(ts[i])``).
+* :class:`BinaryForest` is the binarized counterpart produced by
+  :func:`repro.core.binarize.binarize_parallel` when it is fed a forest.
+
+``leaf_vertex`` holds the *globally shifted* vertex ids (instance ``i``'s
+vertices live in ``[vertex_base[i], vertex_base[i+1])``) so that pipeline
+stages operating on the vertex universe need no per-instance handling;
+``leaf_vertex_local`` keeps the original per-instance ids so DP leaf
+initialisers see exactly the values a solo run would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .binary import BinaryCotree
+from .cotree import LEAF
+from .flat import FlatCotree, as_flat_cotree
+
+__all__ = ["FlatForest", "BinaryForest", "pack", "unpack"]
+
+
+class FlatForest(FlatCotree):
+    """``k`` disjoint cotrees packed into one CSR struct-of-arrays.
+
+    Additional attributes
+    ---------------------
+    roots:
+        ``int64`` array of length ``k``: the (global) root node id of every
+        instance, ``-1`` for an empty instance.
+    instance_id:
+        per-node instance index (length ``num_nodes``).
+    node_base:
+        ``int64`` array of length ``k + 1``; instance ``i`` owns nodes
+        ``[node_base[i], node_base[i+1])``.
+    vertex_base:
+        ``int64`` array of length ``k + 1``; instance ``i`` owns (global)
+        vertices ``[vertex_base[i], vertex_base[i+1])``.
+    leaf_vertex_local:
+        the instances' original (un-shifted) leaf vertex ids.
+
+    The inherited ``root`` attribute is the first non-empty instance's root
+    (or ``-1`` for an all-empty forest); code that is forest-aware should
+    use ``roots`` instead.
+    """
+
+    __slots__ = ("roots", "instance_id", "node_base", "vertex_base",
+                 "leaf_vertex_local")
+
+    def __init__(self, kind, child_offset, child_index, parent, leaf_vertex,
+                 roots, instance_id, node_base, vertex_base,
+                 leaf_vertex_local) -> None:
+        roots = np.asarray(roots, dtype=np.int64)
+        real = roots[roots >= 0]
+        super().__init__(kind, child_offset, child_index, parent, leaf_vertex,
+                         int(real[0]) if len(real) else -1)
+        self.roots = roots
+        self.instance_id = np.asarray(instance_id, dtype=np.int64)
+        self.node_base = np.asarray(node_base, dtype=np.int64)
+        self.vertex_base = np.asarray(vertex_base, dtype=np.int64)
+        self.leaf_vertex_local = np.asarray(leaf_vertex_local, dtype=np.int64)
+
+    @property
+    def num_instances(self) -> int:
+        """Number of packed instances (including empty ones)."""
+        return len(self.roots)
+
+    def instance_of_vertex(self, vertices) -> np.ndarray:
+        """Instance index owning each (global) vertex id."""
+        v = np.asarray(vertices, dtype=np.int64)
+        return np.searchsorted(self.vertex_base, v, side="right") - 1
+
+    def copy(self) -> "FlatForest":
+        return FlatForest(self.kind.copy(), self.child_offset.copy(),
+                          self.child_index.copy(), self.parent.copy(),
+                          self.leaf_vertex.copy(), self.roots.copy(),
+                          self.instance_id.copy(), self.node_base.copy(),
+                          self.vertex_base.copy(),
+                          self.leaf_vertex_local.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FlatForest(num_instances={self.num_instances}, "
+                f"num_vertices={self.num_vertices}, "
+                f"num_nodes={self.num_nodes})")
+
+
+@dataclass
+class BinaryForest(BinaryCotree):
+    """A binarized :class:`FlatForest`: disjoint full binary cotrees.
+
+    ``roots`` lists every instance's root node id; the inherited scalar
+    ``root`` is the first of them (kept meaningful so single-root helpers
+    keep working on the first tree).  Produced by
+    :func:`repro.core.binarize.binarize_parallel` when its input carries a
+    ``roots`` array; consumed by the forest-aware pipeline stages.
+    """
+
+    roots: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        BinaryCotree.__post_init__(self)
+        self.roots = np.asarray(self.roots, dtype=np.int64)
+
+    def copy(self) -> "BinaryForest":
+        return BinaryForest(self.kind.copy(), self.left.copy(),
+                            self.right.copy(), self.parent.copy(),
+                            self.leaf_vertex.copy(), self.root,
+                            roots=self.roots.copy())
+
+
+def pack(trees: Sequence) -> FlatForest:
+    """Pack a list of cotrees into one :class:`FlatForest`.
+
+    Every input is coerced via :func:`as_flat_cotree`.  Each non-empty
+    instance must use the local vertex ids ``0 .. n_i - 1`` (the same
+    assumption the solo pipeline makes); a :class:`ValueError` names the
+    offending instance otherwise.  Empty instances pack to an empty node
+    range with root ``-1``.
+    """
+    flats = [t if type(t) is FlatCotree else as_flat_cotree(t)
+             for t in trees]
+    k = len(flats)
+    num_nodes = np.fromiter((len(f.kind) for f in flats), np.int64, count=k)
+    num_edges = np.fromiter((len(f.child_index) for f in flats),
+                            np.int64, count=k)
+    node_base = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(num_nodes, out=node_base[1:])
+    edge_base = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(num_edges, out=edge_base[1:])
+
+    def cat(arrays, dtype):
+        arrays = [a for a in arrays if len(a)]
+        if not arrays:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(arrays).astype(dtype, copy=False)
+
+    # concatenate every field raw, then shift in ONE vectorized pass per
+    # field (per-instance arithmetic would cost k NumPy dispatches each —
+    # the very overhead packing exists to amortise)
+    kind = cat([f.kind for f in flats], np.int8)
+    total_nodes = int(node_base[-1])
+    node_shift = np.repeat(node_base[:-1], num_nodes)
+    leaf_vertex_local = cat([f.leaf_vertex for f in flats], np.int64)
+    leaf_pos = np.flatnonzero(kind == LEAF)
+    # leaves per instance, from where node_base lands between leaf positions
+    num_verts = np.diff(np.searchsorted(leaf_pos, node_base))
+    vertex_base = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(num_verts, out=vertex_base[1:])
+
+    # validate every instance's vertex universe in one sweep: instance i's
+    # leaf ids must be a permutation of 0..n_i-1, i.e. in range and, once
+    # globally shifted, covering [0, total) exactly once
+    lv = leaf_vertex_local[leaf_pos]
+    in_range = (lv >= 0) & (lv < np.repeat(num_verts, num_verts))
+    shifted = lv + np.repeat(vertex_base[:-1], num_verts)
+    counts = np.bincount(shifted[in_range], minlength=int(vertex_base[-1]))
+    if not in_range.all() or (counts != 1).any():
+        for i, f in enumerate(flats):
+            n_i = f.num_vertices
+            if n_i and not np.array_equal(f.vertices,
+                                          np.arange(n_i, dtype=np.int64)):
+                raise ValueError(
+                    f"instance {i}: vertex ids must be 0..{n_i - 1} to pack "
+                    f"(got {f.vertices.tolist()[:8]}...)")
+
+    raw_roots = np.fromiter((f.root for f in flats), np.int64, count=k)
+    roots = np.where(num_nodes > 0, raw_roots + node_base[:-1],
+                     np.int64(-1))
+    child_index = cat([f.child_index for f in flats], np.int64)
+    child_index += np.repeat(node_base[:-1], num_edges)
+    child_offset = np.empty(total_nodes + 1, dtype=np.int64)
+    child_offset[-1] = edge_base[-1]
+    child_offset[:-1] = cat([f.child_offset[:-1] for f in flats], np.int64) \
+        + np.repeat(edge_base[:-1], num_nodes)
+    raw_parent = cat([f.parent for f in flats], np.int64)
+    parent = np.where(raw_parent < 0, np.int64(-1), raw_parent + node_shift)
+    leaf_vertex = np.full(total_nodes, -1, dtype=np.int64)
+    leaf_vertex[leaf_pos] = shifted
+    instance_id = np.repeat(np.arange(k, dtype=np.int64), num_nodes)
+    return FlatForest(kind, child_offset, child_index, parent, leaf_vertex,
+                      roots, instance_id, node_base, vertex_base,
+                      leaf_vertex_local)
+
+
+def unpack(forest: FlatForest) -> List[FlatCotree]:
+    """Invert :func:`pack`: recover each instance as a :class:`FlatCotree`.
+
+    The returned trees compare equal (``==``) to ``as_flat_cotree`` of the
+    packed inputs; empty instances come back as empty trees with root
+    ``-1``.
+    """
+    out: List[FlatCotree] = []
+    nb = forest.node_base
+    co = forest.child_offset
+    for i in range(forest.num_instances):
+        lo, hi = int(nb[i]), int(nb[i + 1])
+        elo, ehi = int(co[lo]), int(co[hi])
+        kind = forest.kind[lo:hi].copy()
+        offset = (co[lo:hi + 1] - elo).copy()
+        index = (forest.child_index[elo:ehi] - lo).copy()
+        par = forest.parent[lo:hi]
+        parent = np.where(par < 0, np.int64(-1), par - lo)
+        leaf_vertex = forest.leaf_vertex_local[lo:hi].copy()
+        r = int(forest.roots[i])
+        out.append(FlatCotree(kind, offset, index, parent,
+                              leaf_vertex, r - lo if r >= 0 else -1))
+    return out

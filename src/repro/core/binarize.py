@@ -147,6 +147,19 @@ def binarize_parallel(ctx, tree: Union[Cotree, FlatCotree], *,
         parent_new[right_new[has_r]] = has_r
 
     root_new = int(rep[flat.root])
+    old_roots = getattr(flat, "roots", None)
+    if old_roots is not None:
+        # forest input: keep the per-instance root map (the structural
+        # validate below is single-root-only, but the forest path runs on
+        # the fast backend, which skips it)
+        from ..cograph.forest import BinaryForest
+        old_roots = np.asarray(old_roots, dtype=np.int64)
+        if np.any(old_roots < 0):
+            raise CotreeError("cannot binarize a forest with empty instances")
+        out = BinaryForest(kind_new, left_new, right_new, parent_new,
+                           leaf_vertex_new, root_new,
+                           roots=rep[old_roots])
+        return out
     out = BinaryCotree(kind_new, left_new, right_new, parent_new,
                        leaf_vertex_new, root_new)
     if machine.simulates:

@@ -160,6 +160,14 @@ class CotreeDPRun:
         value = self.values[name][self.tree.root]
         return value if self.dp.dtype is object else int(value)
 
+    def root_values(self, field_name: Optional[str] = None) -> np.ndarray:
+        """Per-instance root values (length-1 unless the tree is a forest)."""
+        name = field_name if field_name is not None else self.dp.fields[0]
+        roots = getattr(self.tree, "roots", None)
+        if roots is None:
+            roots = np.asarray([self.tree.root], dtype=np.int64)
+        return self.values[name][np.asarray(roots, dtype=np.int64)]
+
     def witness(self) -> Any:
         """Run the spec's witness reconstruction (``None`` when absent)."""
         if self.dp.witness is None:
@@ -273,8 +281,11 @@ def run_cotree_dp(dp: CotreeDP, tree, ctx=None, *,
 
     values = {f: np.empty(n, dtype=dp.dtype) for f in dp.fields}
     leaves = flat.leaves
+    # a packed forest shifts leaf_vertex globally; feed the initialiser the
+    # instances' original ids so every instance sees what a solo run would
+    leaf_ids = getattr(flat, "leaf_vertex_local", flat.leaf_vertex)
     with context.step(active=len(leaves), label=f"{tag}:leaves"):
-        leaf_values = dp.leaf(flat.leaf_vertex[leaves])
+        leaf_values = dp.leaf(leaf_ids[leaves])
         for f in dp.fields:
             values[f][leaves] = leaf_values[f]
 
@@ -310,7 +321,8 @@ def run_cotree_dp_sequential(dp: CotreeDP, tree) -> CotreeDPRun:
         raise ValueError(f"cotree DP {dp.name!r} needs a non-empty cotree")
     values = {f: np.empty(n, dtype=dp.dtype) for f in dp.fields}
     leaves = flat.leaves
-    leaf_values = dp.leaf(flat.leaf_vertex[leaves])
+    leaf_ids = getattr(flat, "leaf_vertex_local", flat.leaf_vertex)
+    leaf_values = dp.leaf(leaf_ids[leaves])
     for f in dp.fields:
         values[f][leaves] = leaf_values[f]
 
@@ -395,7 +407,12 @@ def selected_subtree_vertices(run: CotreeDPRun, pick_at: int,
         chosen[pick_nodes] = np.int64(n - 1) - best % np.int64(n)
 
     selected = np.zeros(n, dtype=bool)
-    selected[flat.root] = True
+    roots = getattr(flat, "roots", None)
+    if roots is None:
+        selected[flat.root] = True
+    else:
+        roots = np.asarray(roots, dtype=np.int64)
+        selected[roots[roots >= 0]] = True
     for level_nodes in _levels_top_down(run):
         sel = level_nodes[selected[level_nodes]]
         if not len(sel):

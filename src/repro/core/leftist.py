@@ -54,8 +54,14 @@ def leftist_reorder(ctx, tree: BinaryCotree, *,
     """
     machine = resolve_context(ctx)
 
+    # a BinaryForest carries all its roots; their tours are chained so the
+    # numbering stays global but per-tree consistent
+    forest_roots = getattr(tree, "roots", None)
+    roots = [int(r) for r in forest_roots] if forest_roots is not None \
+        else [tree.root]
+
     numbers = compute_tree_numbers(machine, tree.left, tree.right, tree.parent,
-                                   [tree.root], work_efficient=work_efficient,
+                                   roots, work_efficient=work_efficient,
                                    label=f"{label}.numbers")
     L = numbers.subtree_leaves
     # nodes violating the leftist condition
@@ -77,7 +83,7 @@ def leftist_reorder(ctx, tree: BinaryCotree, *,
     # renumber after the swap (inorder changes; L(u) and depth do not, so
     # the depths are handed back in)
     numbers2 = compute_tree_numbers(machine, out.left, out.right, out.parent,
-                                    [out.root], work_efficient=work_efficient,
+                                    roots, work_efficient=work_efficient,
                                     known_depth=numbers.depth,
                                     label=f"{label}.renumber")
     return LeftistCotree(tree=out, numbers=numbers2)

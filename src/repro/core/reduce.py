@@ -123,6 +123,9 @@ def reduce_cotree(ctx, leftist: LeftistCotree, *,
     n_vertices = tree.num_vertices
     kind = np.asarray(tree.kind, dtype=np.int64)
     L = numbers.subtree_leaves
+    forest_roots = getattr(tree, "roots", None)
+    roots = np.asarray(forest_roots, dtype=np.int64) if forest_roots is not None \
+        else None
 
     # ---- p(u) by tree contraction (Lemma 2.4) --------------------------- #
     join_const = np.zeros(n_nodes, dtype=np.int64)
@@ -130,7 +133,8 @@ def reduce_cotree(ctx, leftist: LeftistCotree, *,
     join_const[internal] = L[tree.right[internal]]
     leaf_values = np.ones(n_nodes, dtype=np.int64)
     p = evaluate_max_plus_tree(machine, tree.left, tree.right, tree.parent,
-                               tree.root, kind, join_const, leaf_values,
+                               roots if roots is not None else tree.root,
+                               kind, join_const, leaf_values,
                                leaf_inorder=numbers.inorder,
                                label=f"{label}.p-values")
 
@@ -143,8 +147,9 @@ def reduce_cotree(ctx, leftist: LeftistCotree, *,
     # reused; the simulated path still builds its own so the PRAM cost
     # report accounts every step the paper's Step 3 performs.
     shared_tour = None if machine.simulates else numbers.tour
+    root_list = [int(r) for r in roots] if roots is not None else [tree.root]
     top_mark = topmost_marked_ancestor(machine, tree.left, tree.right,
-                                       tree.parent, [tree.root], marked,
+                                       tree.parent, root_list, marked,
                                        work_efficient=work_efficient,
                                        tour=shared_tour,
                                        label=f"{label}.regions")

@@ -39,6 +39,7 @@ __all__ = ["match_brackets"]
 
 def match_brackets(ctx, is_open, *,
                    block_prepass: bool = True,
+                   segment_id=None,
                    label: str = "match") -> np.ndarray:
     """Match every bracket of the sequence.
 
@@ -51,6 +52,11 @@ def match_brackets(ctx, is_open, *,
     block_prepass:
         resolve intra-block matches sequentially per block first (work
         efficient); the residue is matched by the sorting method.
+    segment_id:
+        optional per-position segment index: brackets only match within
+        their own segment (used by the forest path to keep instances
+        disjoint).  Fast backend only — the simulated path is
+        single-instance.
 
     Returns
     -------
@@ -69,7 +75,12 @@ def match_brackets(ctx, is_open, *,
         # the match relation is unique, so the block pre-pass (a per-block
         # Python loop that only exists to make the simulated *work* linear)
         # is pure overhead here: one global level-grouping pass suffices.
-        return _match_by_levels(machine, is_open, label=label)
+        return _match_by_levels(machine, is_open, segment_id=segment_id,
+                                label=label)
+
+    if segment_id is not None:
+        raise ValueError("segment_id requires the fast backend; the "
+                         "simulated matcher is single-instance")
 
     unresolved = np.ones(n, dtype=bool)
 
@@ -149,19 +160,36 @@ def _intra_block_matching(machine, is_open: np.ndarray,
 # --------------------------------------------------------------------------- #
 
 def _match_by_levels(machine, is_open: np.ndarray, *,
-                     label: str) -> np.ndarray:
-    """Match a bracket sequence by grouping positions by nesting level."""
+                     segment_id=None, label: str) -> np.ndarray:
+    """Match a bracket sequence by grouping positions by nesting level.
+
+    With ``segment_id`` (contiguous runs of equal ids) the nesting depth is
+    re-based per segment and groups are keyed by ``(segment, level)``, so
+    matches never cross a segment boundary — the forest path relies on this.
+    """
     n = len(is_open)
     delta = np.where(is_open, 1, -1).astype(np.int64)
     depth_after = prefix_sum(machine, delta, inclusive=True,
                              label=f"{label}.depth")
+    seg = None
+    if segment_id is not None:
+        seg = np.asarray(segment_id, dtype=np.int64)
+        # depth relative to the segment start: subtract the global depth just
+        # before each segment's first position
+        starts = np.flatnonzero(np.diff(seg, prepend=seg[0] - 1))
+        run_lengths = np.diff(np.append(starts, n))
+        base = np.repeat(depth_after[starts] - delta[starts], run_lengths)
+        depth_after = depth_after - base
     # level of an open = depth after it; level of a close = depth before it
     level = np.where(is_open, depth_after, depth_after + 1)
 
     # Stable sort by (level, position).  Accounted as ceil(log2 n) rounds of
     # n processors (Cole's EREW merge sort depth); see the module docstring
     # for the work discussion.
-    order = np.lexsort((np.arange(n), level))
+    if seg is None:
+        order = np.lexsort((np.arange(n), level))
+    else:
+        order = np.lexsort((np.arange(n), level, seg))
     if machine.simulates:
         sort_rounds = max(1, int(np.ceil(np.log2(max(n, 2)))))
         for _ in range(sort_rounds):
@@ -175,6 +203,9 @@ def _match_by_levels(machine, is_open: np.ndarray, *,
     with machine.step(active=n, label=f"{label}:pair"):
         same_group_as_prev = np.zeros(n, dtype=bool)
         same_group_as_prev[1:] = sorted_level[1:] == sorted_level[:-1]
+        if seg is not None:
+            sorted_seg = seg[order]
+            same_group_as_prev[1:] &= sorted_seg[1:] == sorted_seg[:-1]
         prev_is_open = np.zeros(n, dtype=bool)
         prev_is_open[1:] = sorted_open[:-1]
         # a close matches the immediately preceding element of its group iff

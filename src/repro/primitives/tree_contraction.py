@@ -134,7 +134,13 @@ def evaluate_max_plus_tree(
         binary-tree arrays (``-1`` where absent); every internal node must
         have both children.
     root:
-        root node id.
+        root node id — or an array of root ids when the arrays hold a
+        *forest* of disjoint trees (all ids must be valid nodes).  The
+        multi-root schedule retires leaves whose parent is a root before
+        ranking each round, rakes the rest exactly as in the single-tree
+        schedule (the rake-safety invariant is per subtree, so it is
+        unaffected by other trees), and finishes with one vectorized
+        combine over all internal roots.
     kind:
         per-node operator: :data:`~repro.cograph.cotree.LEAF`,
         :data:`~repro.cograph.cotree.UNION` (value = sum of children) or
@@ -166,15 +172,22 @@ def evaluate_max_plus_tree(
     n = len(left)
     machine = resolve_context(ctx)
 
+    roots_arr = np.atleast_1d(np.asarray(root, dtype=np.int64))
+    multi = len(roots_arr) > 1
+
     val = np.full(n, NEG_INF, dtype=np.int64)
     is_leaf = kind == LEAF
     val[is_leaf] = leaf_values[is_leaf]
-    if n == 1 or is_leaf[root]:
+    if not multi:
+        root = int(roots_arr[0])
+        if n == 1 or is_leaf[root]:
+            return val
+    elif bool(np.all(is_leaf[roots_arr])):
         return val
 
     # ---- leaf order ---------------------------------------------------- #
     if leaf_inorder is None:
-        leaf_inorder = _sequential_leaf_order(left, right, root, n)
+        leaf_inorder = _sequential_leaf_order(left, right, roots_arr, n)
     leaf_inorder = np.asarray(leaf_inorder, dtype=np.int64)
 
     # alive leaves sorted by left-to-right order; the position in this array
@@ -198,34 +211,79 @@ def evaluate_max_plus_tree(
     events: List[_RakeEvent] = []
     max_rounds = 4 * max(1, int(np.ceil(np.log2(max(n, 2))))) + 8
 
-    for _ in range(max_rounds):
-        if len(alive_leaves) <= 2:
-            break
-        ranks = np.arange(len(alive_leaves), dtype=np.int64)
-        odd = alive_leaves[ranks % 2 == 1]
-        raked_this_round = np.zeros(n, dtype=bool)
-        for want_left in (True, False):
-            cand = _select_rake_candidates(odd, cur_parent.data, cur_side.data,
-                                           root, want_left, raked_this_round)
-            if len(cand) == 0:
-                continue
-            event = _rake(machine, cand, cur_left, cur_right, cur_parent,
-                          cur_side, fa, fb, kind, join_const, val,
-                          label=label)
-            events.append(event)
-            raked_this_round[cand] = True
-        if not raked_this_round.any():
-            # only root-children leaves remain unraked at odd ranks;
-            # the even ranks will become odd after recompaction below
-            if len(alive_leaves) <= 3:
+    if multi:
+        # forest schedule: each round first retires alive leaves whose
+        # current parent is a root (they are that root's final contracted
+        # children and must not rake), then ranks and rakes the rest.
+        is_root = np.zeros(n, dtype=bool)
+        is_root[roots_arr] = True
+        for _ in range(max_rounds):
+            if len(alive_leaves):
+                p_alive = cur_parent.data[alive_leaves]
+                retire = (p_alive == -1) | is_root[np.maximum(p_alive, 0)]
+                if retire.any():
+                    alive_leaves = alive_leaves[~retire]
+            if len(alive_leaves) == 0:
                 break
-        alive_leaves = alive_leaves[~raked_this_round[alive_leaves]]
+            ranks = np.arange(len(alive_leaves), dtype=np.int64)
+            odd = alive_leaves[ranks % 2 == 1]
+            raked_this_round = np.zeros(n, dtype=bool)
+            for want_left in (True, False):
+                cand = _select_rake_candidates_forest(
+                    odd, cur_parent.data, cur_side.data, is_root, want_left,
+                    raked_this_round)
+                if len(cand) == 0:
+                    continue
+                event = _rake(machine, cand, cur_left, cur_right, cur_parent,
+                              cur_side, fa, fb, kind, join_const, val,
+                              label=label)
+                events.append(event)
+                raked_this_round[cand] = True
+            alive_leaves = alive_leaves[~raked_this_round[alive_leaves]]
+    else:
+        for _ in range(max_rounds):
+            if len(alive_leaves) <= 2:
+                break
+            ranks = np.arange(len(alive_leaves), dtype=np.int64)
+            odd = alive_leaves[ranks % 2 == 1]
+            raked_this_round = np.zeros(n, dtype=bool)
+            for want_left in (True, False):
+                cand = _select_rake_candidates(odd, cur_parent.data,
+                                               cur_side.data,
+                                               root, want_left,
+                                               raked_this_round)
+                if len(cand) == 0:
+                    continue
+                event = _rake(machine, cand, cur_left, cur_right, cur_parent,
+                              cur_side, fa, fb, kind, join_const, val,
+                              label=label)
+                events.append(event)
+                raked_this_round[cand] = True
+            if not raked_this_round.any():
+                # only root-children leaves remain unraked at odd ranks;
+                # the even ranks will become odd after recompaction below
+                if len(alive_leaves) <= 3:
+                    break
+            alive_leaves = alive_leaves[~raked_this_round[alive_leaves]]
 
-    # ---- root value ----------------------------------------------------- #
-    rl, rr = int(cur_left.data[root]), int(cur_right.data[root])
-    xl = mp_apply(fa.data[rl], fb.data[rl], val[rl])
-    xr = mp_apply(fa.data[rr], fb.data[rr], val[rr])
-    val[root] = _combine_scalar(int(kind[root]), int(join_const[root]), xl, xr)
+    # ---- root value(s) --------------------------------------------------- #
+    if multi:
+        internal_roots = roots_arr[~is_leaf[roots_arr]]
+        if len(internal_roots):
+            rl = cur_left.data[internal_roots]
+            rr = cur_right.data[internal_roots]
+            xl = mp_apply(fa.data[rl], fb.data[rl], val[rl])
+            xr = mp_apply(fa.data[rr], fb.data[rr], val[rr])
+            is_union = kind[internal_roots] == UNION
+            val[internal_roots] = np.where(
+                is_union, xl + xr,
+                np.maximum(xl - join_const[internal_roots], 1))
+    else:
+        rl, rr = int(cur_left.data[root]), int(cur_right.data[root])
+        xl = mp_apply(fa.data[rl], fb.data[rl], val[rl])
+        xr = mp_apply(fa.data[rr], fb.data[rr], val[rr])
+        val[root] = _combine_scalar(int(kind[root]), int(join_const[root]),
+                                    xl, xr)
 
     # ---- expansion ------------------------------------------------------ #
     for event in reversed(events):
@@ -245,23 +303,47 @@ def evaluate_max_plus_tree(
 # helpers
 # --------------------------------------------------------------------------- #
 
-def _sequential_leaf_order(left: np.ndarray, right: np.ndarray, root: int,
+def _sequential_leaf_order(left: np.ndarray, right: np.ndarray, roots,
                            n: int) -> np.ndarray:
-    """Left-to-right rank of every leaf (``-1`` for internal nodes)."""
+    """Left-to-right rank of every leaf (``-1`` for internal nodes).
+
+    ``roots`` may list several tree roots; their leaf ranks are chained in
+    roots order, matching a chained Euler tour of the forest.
+    """
     order = np.full(n, -1, dtype=np.int64)
     counter = 0
-    stack = [int(root)]
-    while stack:
-        u = stack.pop()
-        if left[u] == -1 and right[u] == -1:
-            order[u] = counter
-            counter += 1
-        else:
-            if right[u] != -1:
-                stack.append(int(right[u]))
-            if left[u] != -1:
-                stack.append(int(left[u]))
+    for root in np.atleast_1d(np.asarray(roots, dtype=np.int64)):
+        stack = [int(root)]
+        while stack:
+            u = stack.pop()
+            if left[u] == -1 and right[u] == -1:
+                order[u] = counter
+                counter += 1
+            else:
+                if right[u] != -1:
+                    stack.append(int(right[u]))
+                if left[u] != -1:
+                    stack.append(int(left[u]))
     return order
+
+
+def _select_rake_candidates_forest(odd_leaves: np.ndarray, parent: np.ndarray,
+                                   side: np.ndarray, is_root: np.ndarray,
+                                   want_left: bool,
+                                   already_raked: np.ndarray) -> np.ndarray:
+    """Forest variant of :func:`_select_rake_candidates`: excludes leaves
+    whose parent is *any* root (the retire pass normally removes those
+    before ranking; the mask keeps the selection safe regardless)."""
+    if len(odd_leaves) == 0:
+        return odd_leaves
+    p = parent[odd_leaves]
+    mask = ((p != -1) & ~is_root[np.maximum(p, 0)]
+            & (~already_raked[odd_leaves]))
+    if want_left:
+        mask &= side[odd_leaves] == 1
+    else:
+        mask &= side[odd_leaves] == 0
+    return odd_leaves[mask]
 
 
 def _select_rake_candidates(odd_leaves: np.ndarray, parent: np.ndarray,
