@@ -6,7 +6,9 @@
     python -m repro solve instance.json --task hamiltonian_cycle --json
     python -m repro solve "(0 * (1 * 2))" --backend fast --validate
     python -m repro solve --stream --jobs 4 < instances.jsonl
+    python -m repro serve --port 8080 --jobs 4
     python -m repro tasks
+    python -m repro --version
 
 The INPUT argument accepts everything :func:`repro.api.as_problem` does from
 a string: compact cotree text (``(0 + (1 * 2))``) or a path to a JSON file
@@ -27,10 +29,12 @@ import argparse
 import json
 import sys
 
+from ._version import __version__
 from .api import (
     METHOD_NAMES,
     SolutionCache,
     SolveOptions,
+    as_problem,
     solve,
     solve_stream,
     task_names,
@@ -61,6 +65,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Minimum path cover on cographs (Nakano-Olariu-Zomaya) "
                     "— one front door over every task.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
@@ -107,8 +113,43 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="for --stream: sweep instances of at most N "
                           "vertices in vectorized forest batches instead "
                           "of the worker pool")
+    run.add_argument("--on-error", default="fail", choices=("fail", "emit"),
+                     help="for --stream: on a malformed input line, 'fail' "
+                          "(default) stops with an error after the valid "
+                          "prefix; 'emit' writes a structured "
+                          '{"error": ..., "line": N} record and continues')
+
+    server = sub.add_parser(
+        "serve", help="run the HTTP/JSON service (repro.server)",
+        description="Serve every registered task over HTTP/1.1 + JSON.  "
+                    "Defaults come from REPRO_* environment variables "
+                    "(REPRO_PORT, REPRO_QUEUE_LIMIT, ...); flags win.")
+    server.add_argument("--host", default=None,
+                        help="listen address (default 127.0.0.1)")
+    server.add_argument("--port", type=int, default=None,
+                        help="listen port (default 8080; 0 = OS-assigned)")
+    server.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="solver worker processes (0 = one per CPU; "
+                             "1 = in-process)")
+    server.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                        help="max admitted-but-unanswered requests; past "
+                             "it new requests get 429")
+    server.add_argument("--cache-size", type=int, default=None, metavar="N",
+                        help="solution-cache entries (0 disables)")
+    server.add_argument("--batch-small", type=int, default=None, metavar="N",
+                        help="forest-sweep threshold for /v1/solve_batch "
+                             "(0 disables)")
+    server.add_argument("--request-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request solve budget before a 504")
+    server.add_argument("--log-format", default=None,
+                        choices=("kv", "json"),
+                        help="structured log shape (default kv)")
+    server.add_argument("--log-level", default=None,
+                        help="DEBUG/INFO/WARNING/ERROR (default INFO)")
 
     sub.add_parser("tasks", help="list the registered tasks")
+    sub.add_parser("version", help="print the package version")
     return parser
 
 
@@ -127,23 +168,45 @@ def _parse_bits(text: str, task: str):
     return [int(c) for c in digits]
 
 
-def _iter_jsonl(lines, task: str):
-    """Lazily turn stdin lines into problems (blank lines skipped)."""
+def _iter_jsonl(lines, task: str, on_error: str = "fail",
+                pending_errors=None):
+    """Lazily turn stdin lines into problems (blank lines skipped).
+
+    With ``on_error="fail"`` (the historical behaviour) a malformed line
+    raises and kills the stream after the valid prefix.  With ``"emit"``
+    each line is adapted eagerly so a bad one is caught *here*: a record
+    ``{"error": ..., "line": N}`` is parked in ``pending_errors`` under
+    the index of the next good problem (so the consumer can interleave it
+    at the right position in the output) and the stream continues.
+    """
     bits_task = _takes_bits(task)
-    for line in lines:
-        line = line.strip()
-        if not line:
+    good = 0
+    for line_no, raw in enumerate(lines, 1):
+        raw = raw.strip()
+        if not raw:
             continue
         try:
-            value = json.loads(line)
+            value = json.loads(raw)
         except json.JSONDecodeError:
             # bare cotree text like (0 + (1 * 2)) is accepted unquoted
-            value = line
-        if bits_task and isinstance(value, (str, int)):
-            # "101" JSON-parses to the integer 101; both spellings are
-            # bit strings here
-            value = _parse_bits(str(value), task)
+            value = raw
+        try:
+            if bits_task and isinstance(value, (str, int)):
+                # "101" JSON-parses to the integer 101; both spellings are
+                # bit strings here
+                value = _parse_bits(str(value), task)
+            if on_error == "emit":
+                # adapt now so a hopeless line surfaces per line, not as
+                # a worker crash deep inside the stream engine
+                value = as_problem(value, task=task)
+        except (ValueError, TypeError) as exc:
+            if on_error != "emit":
+                raise
+            pending_errors.setdefault(good, []).append(
+                {"error": str(exc), "line": line_no})
+            continue
         yield value
+        good += 1
 
 
 def _print_solution(solution, as_json: bool) -> None:
@@ -163,24 +226,40 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if args.input is not None:
             raise ValueError("--stream reads problems from stdin; drop the "
                              "INPUT argument")
-        stream = solve_stream(_iter_jsonl(sys.stdin, args.task), args.task,
-                              options=options, jobs=args.jobs,
-                              window=args.window, chunksize=args.chunksize)
-        count = 0
+        pending_errors = {}
+        stream = solve_stream(
+            _iter_jsonl(sys.stdin, args.task, args.on_error, pending_errors),
+            args.task, options=options, jobs=args.jobs,
+            window=args.window, chunksize=args.chunksize)
+        count = skipped = 0
+
+        def flush_errors(records) -> None:
+            nonlocal skipped
+            for record in records:
+                print(json.dumps(record))
+                skipped += 1
+
         for solution in stream:
+            # error records for malformed lines between this solution and
+            # the previous one go out first, keeping input order
+            flush_errors(pending_errors.pop(
+                solution.provenance["batch_index"], ()))
             _print_solution(solution, args.json)
             count += 1
+        for index in sorted(pending_errors):    # trailing malformed lines
+            flush_errors(pending_errors.pop(index))
         if cache is not None:
             print(f"cache: {cache.stats()}", file=sys.stderr)
-        print(f"solved {count} instance(s)", file=sys.stderr)
+        tail = f", skipped {skipped} malformed line(s)" if skipped else ""
+        print(f"solved {count} instance(s){tail}", file=sys.stderr)
         return 0
     if args.input is None:
         raise ValueError("INPUT is required unless --stream is given")
     if args.jobs is not None or args.window is not None \
             or args.chunksize != 1 or args.cache is not None \
-            or args.batch_small is not None:
-        raise ValueError("--jobs/--window/--chunksize/--cache/--batch-small "
-                         "only apply to --stream")
+            or args.batch_small is not None or args.on_error != "fail":
+        raise ValueError("--jobs/--window/--chunksize/--cache/--batch-small"
+                         "/--on-error only apply to --stream")
     problem = (_parse_bits(args.input, args.task) if _takes_bits(args.task)
                else args.input)
     solution = solve(problem, args.task, options=options)
@@ -201,11 +280,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # imported lazily: the solve/tasks commands stay free of the server
+    # stack, and `repro.server` never loads unless it is asked for
+    from .server import Settings, serve
+    settings = Settings.from_env(
+        host=args.host, port=args.port, jobs=args.jobs,
+        queue_limit=args.queue_limit, cache_size=args.cache_size,
+        batch_small=args.batch_small, request_timeout=args.request_timeout,
+        log_format=args.log_format, log_level=args.log_level)
+    return serve(settings)
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "tasks":
         return _cmd_tasks()
+    if args.command == "version":
+        print(f"repro {__version__}")
+        return 0
     try:
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_solve(args)
     except (ValueError, TypeError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

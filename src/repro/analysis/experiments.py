@@ -136,6 +136,16 @@ EXPERIMENTS: List[ExperimentSpec] = [
         ("repro.cograph.forest", "repro.api.forest", "repro.core.dp"),
         "benchmarks/bench_profile.py"),
     ExperimentSpec(
+        "E14", "the service layer (engineering)",
+        "The async HTTP/JSON service (repro.server) sustains concurrent "
+        "mixed-task traffic on one warm pool with a non-zero shared-cache "
+        "hit rate, sheds overload past queue_limit with 429s (never a "
+        "5xx), and drains cleanly on shutdown.",
+        "concurrent HTTP clients over a skewed mixed-task request stream, "
+        "plus a saturation burst at queue_limit=2",
+        ("repro.server.app", "repro.server.runner", "repro.api.cache"),
+        "benchmarks/bench_server.py"),
+    ExperimentSpec(
         "A1", "leftist condition (ablation)",
         "Without the leftist reordering the 1-node recurrence stops being "
         "minimum: the produced covers are strictly larger on adversarial "

@@ -21,10 +21,16 @@ processes never carry a copy.
 
 Stored and returned solutions each have their own ``provenance`` dict,
 but ``answer``/``cover`` are shared objects — treat them as immutable.
+
+The cache is **thread-safe**: one lock serialises the LRU bookkeeping, so
+the server (`repro.server`) can share a single cache between the event
+loop and its batch worker threads.  It still must not cross *process*
+boundaries — the stream fan-out keeps it parent-side for that reason.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
@@ -77,6 +83,10 @@ class SolutionCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        # one lock around get/put/LRU bookkeeping: concurrent readers and
+        # writers (the server's event loop + worker threads) never see a
+        # half-updated recency order or torn counters
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # keying
@@ -109,13 +119,14 @@ class SolutionCache:
     def get(self, key: Tuple):
         """The cached solution for ``key`` (refreshed as most recent), or
         ``None``.  Counts the lookup as a hit or a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Tuple, solution) -> None:
         """Store ``solution`` under ``key``, evicting the LRU entry when
@@ -123,28 +134,34 @@ class SolutionCache:
         pickles without dragging this cache along) and has its own
         ``provenance`` dict, so later mutations of the caller's solution
         never reach future hits."""
-        self._entries[key] = replace(
+        entry = replace(
             solution, machine=None,
             options=solution.options.with_(cache=None),
             provenance=dict(solution.provenance))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry (counters keep running)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
         """``{"hits", "misses", "size", "maxsize"}`` as a plain dict."""
-        return {"hits": self.hits, "misses": self.misses,
-                "size": len(self._entries), "maxsize": self.maxsize}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._entries), "maxsize": self.maxsize}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SolutionCache(size={len(self._entries)}, "

@@ -89,7 +89,12 @@ def cotree_from_text(text: str) -> Cotree:
         pos += 1
         return int(token)
 
-    spec = parse()
+    try:
+        spec = parse()
+    except IndexError:
+        raise ValueError(
+            f"truncated cotree text (unbalanced parentheses?): {text!r}"
+        ) from None
     if pos != len(tokens):
         raise ValueError("trailing input after cotree expression")
     if isinstance(spec, int):

@@ -1,0 +1,48 @@
+"""``repro.server`` — the async HTTP/JSON service layer.
+
+The ROADMAP's "millions of users" north star needs a long-running process,
+not a CLI: this subpackage serves the whole solve stack over HTTP/1.1 +
+JSON, stdlib-only (asyncio), with the production plumbing a real service
+needs — env-driven :class:`Settings`, structured logging with request ids,
+field-level request validation, a shared warm worker pool and thread-safe
+solution cache, admission control (bounded queue → 429), per-request
+timeouts (504), ``/healthz`` + ``/metrics``, and graceful drain on
+SIGTERM/SIGINT.
+
+Endpoints::
+
+    POST /v1/solve          {"problem": ..., "task": ..., "options": {...}}
+    POST /v1/solve_batch    [records...]  or  {"problems": [...], ...}
+    GET  /healthz
+    GET  /metrics
+
+Run it::
+
+    python -m repro serve --port 8080 --jobs 4
+    REPRO_PORT=8080 REPRO_QUEUE_LIMIT=256 python -m repro serve
+
+Embed it::
+
+    from repro.server import ReproServer, Settings
+    async with ReproServer(Settings(port=0, jobs=1)) as server:
+        ...  # server.port is bound; server.app.dispatch() for tests
+"""
+
+from .app import HTTPError, Response, ServerApp
+from .logging_config import configure_logging, get_logger, new_request_id
+from .metrics import LatencyHistogram, Metrics
+from .runner import ReproServer, serve
+from .schemas import (
+    SchemaError,
+    SolveRequest,
+    parse_batch_request,
+    parse_solve_request,
+)
+from .settings import Settings
+
+__all__ = [
+    "ReproServer", "serve", "Settings", "ServerApp", "Response",
+    "HTTPError", "Metrics", "LatencyHistogram", "SchemaError",
+    "SolveRequest", "parse_solve_request", "parse_batch_request",
+    "configure_logging", "get_logger", "new_request_id",
+]

@@ -1,0 +1,147 @@
+"""Structured logging for the service layer.
+
+Every log line the server emits is machine-parseable in one of two shapes,
+chosen by ``Settings.log_format``:
+
+* ``kv`` — one ``key=value`` line per record::
+
+    ts=2026-08-08T12:00:00.123Z level=INFO logger=repro.server \
+        request_id=a1b2c3d4e5f6 event=request method=POST path=/v1/solve \
+        status=200 task=path_cover duration_ms=4.2
+
+* ``json`` — the same fields as one JSON object per line.
+
+The request id rides a :mod:`contextvars` variable: the connection handler
+sets it once per request and every record logged anywhere inside that
+request — schemas, cache, pool dispatch — carries it automatically, so one
+``grep request_id=...`` reconstructs a request's whole story.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import secrets
+import sys
+import time
+from typing import Any, Optional
+
+from .settings import Settings
+
+__all__ = ["configure_logging", "get_logger", "flush_logging",
+           "new_request_id", "request_id_var", "KeyValueFormatter",
+           "JsonFormatter"]
+
+#: the ambient request id of the current task/thread ("-" outside requests).
+request_id_var: "contextvars.ContextVar[str]" = contextvars.ContextVar(
+    "repro_request_id", default="-")
+
+#: the server's logger namespace.
+LOGGER_NAME = "repro.server"
+
+#: LogRecord attributes that are plumbing, not payload — everything else
+#: passed via ``extra=`` becomes a structured field on the line.
+_RESERVED = frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None)).keys()) | {"message", "asctime",
+                                            "request_id", "taskName"}
+
+
+def new_request_id() -> str:
+    """A fresh 12-hex-char request id (unique enough to grep by)."""
+    return secrets.token_hex(6)
+
+
+def _utc_ts(record: logging.LogRecord) -> str:
+    t = time.gmtime(record.created)
+    return (time.strftime("%Y-%m-%dT%H:%M:%S", t)
+            + f".{int(record.msecs):03d}Z")
+
+
+def _structured_fields(record: logging.LogRecord) -> dict:
+    return {key: value for key, value in vars(record).items()
+            if key not in _RESERVED}
+
+
+class _RequestIdFilter(logging.Filter):
+    """Stamp every record with the ambient request id."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.request_id = request_id_var.get()
+        return True
+
+
+def _kv_escape(value: Any) -> str:
+    text = str(value)
+    if text == "" or any(c in text for c in ' ="\n\t'):
+        return json.dumps(text)
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``key=value`` lines; values with spaces/quotes are JSON-quoted."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        pairs = [("ts", _utc_ts(record)),
+                 ("level", record.levelname),
+                 ("logger", record.name),
+                 ("request_id", getattr(record, "request_id", "-")),
+                 ("msg", record.getMessage())]
+        pairs.extend(sorted(_structured_fields(record).items()))
+        line = " ".join(f"{k}={_kv_escape(v)}" for k, v in pairs)
+        if record.exc_info:
+            line += " exc=" + json.dumps(self.formatException(record.exc_info))
+        return line
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line, same fields as the ``kv`` shape."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        data = {"ts": _utc_ts(record),
+                "level": record.levelname,
+                "logger": record.name,
+                "request_id": getattr(record, "request_id", "-"),
+                "msg": record.getMessage()}
+        data.update(_structured_fields(record))
+        if record.exc_info:
+            data["exc"] = self.formatException(record.exc_info)
+        return json.dumps(data, default=str)
+
+
+def configure_logging(settings: Settings,
+                      stream: Optional[Any] = None) -> logging.Logger:
+    """Configure and return the ``repro.server`` logger.
+
+    Idempotent: reconfiguring replaces the previous handler instead of
+    stacking a second one (a test suite may boot many servers).  The
+    logger does not propagate to the root logger, so embedding the server
+    in a larger application never double-logs.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(settings.log_level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(JsonFormatter() if settings.log_format == "json"
+                         else KeyValueFormatter())
+    handler.addFilter(_RequestIdFilter())
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger() -> logging.Logger:
+    """The server's logger (configured or not)."""
+    return logging.getLogger(LOGGER_NAME)
+
+
+def flush_logging() -> None:
+    """Flush every handler of the server logger (the shutdown path)."""
+    for handler in logging.getLogger(LOGGER_NAME).handlers:
+        try:
+            handler.flush()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

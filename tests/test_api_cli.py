@@ -223,3 +223,64 @@ def test_stream_dp_task(monkeypatch, capsys):
     answers = [json.loads(line)["answer"]["num_cliques"]
                for line in out_lines]
     assert answers == [2, 2, 1]
+
+
+# --------------------------------------------------------------------------- #
+# version plumbing and --on-error (PR 7)
+# --------------------------------------------------------------------------- #
+
+def test_version_flag_prints_the_package_version(capsys):
+    from repro._version import __version__
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_version_subcommand_matches_the_flag(capsys):
+    from repro._version import __version__
+    assert main(["version"]) == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_stream_on_error_emit_interleaves_error_records(monkeypatch,
+                                                        capsys):
+    _feed_stdin(monkeypatch, ['"(0 * 1)"', '"((0+1)"', '"(0 + 1)"',
+                              "{bad json that is not cotree text either"])
+    assert main(["solve", "--stream", "--on-error", "emit",
+                 "--json"]) == 0
+    captured = capsys.readouterr()
+    records = [json.loads(line) for line in captured.out.splitlines()]
+    assert len(records) == 4
+    # input order is preserved: solution, error, solution, trailing error
+    assert records[0]["num_paths"] == 1
+    assert records[1]["line"] == 2 and "error" in records[1]
+    assert records[2]["num_paths"] == 2
+    assert records[3]["line"] == 4 and "error" in records[3]
+    assert "solved 2 instance(s), skipped 2 malformed line(s)" \
+        in captured.err
+
+
+def test_stream_on_error_emit_with_jobs_and_all_bad_lines(monkeypatch,
+                                                          capsys):
+    _feed_stdin(monkeypatch, ['"((0+1)"', '"no/such/file.json"'])
+    assert main(["solve", "--stream", "--on-error", "emit", "--jobs", "2"]
+                ) == 0
+    captured = capsys.readouterr()
+    records = [json.loads(line) for line in captured.out.splitlines()]
+    assert [r["line"] for r in records] == [1, 2]
+    assert "solved 0 instance(s), skipped 2 malformed line(s)" \
+        in captured.err
+
+
+def test_stream_on_error_fail_stays_the_default(monkeypatch, capsys):
+    _feed_stdin(monkeypatch, ['"(0 * 1)"', '"((0+1)"', '"(0 + 1)"'])
+    assert main(["solve", "--stream"]) == 2
+    captured = capsys.readouterr()
+    assert len(captured.out.splitlines()) == 1  # valid prefix only
+    assert "error:" in captured.err
+
+
+def test_on_error_without_stream_exits_2(capsys):
+    assert main(["solve", "(0 + 1)", "--on-error", "emit"]) == 2
+    assert "--on-error" in capsys.readouterr().err
