@@ -1,4 +1,4 @@
-"""E11 + E12 + E13 — wall-clock profiles of the flat-array hot path.
+"""E11 + E12 + E13 + E15 — wall-clock profiles of the flat-array hot path.
 
 Every future PR needs a trajectory to compare against: this harness runs
 
@@ -10,29 +10,36 @@ Every future PR needs a trajectory to compare against: this harness runs
   ``count_independent_sets``) end to end through ``solve()`` on the same
   instances; ``max_clique`` at n = 100k must stay within 2x the pipeline
   total that the PR 4 ``lower_bound`` task used to pay at that size (the
-  DP replaces a full cover run), and
+  DP replaces a full cover run),
 * **E13** — forest batching: thousands of small instances (n <= 100)
   solved by one :func:`repro.api.solve_forest` sweep vs the pooled batch
   front door (``solve_many(jobs=0)``, one worker per CPU); the full run
   must show >= 10x throughput on ``path_cover_size`` and ``max_clique``,
+* **E15** — modular decomposition (PR 8): the four MD-capable tasks on
+  cograph inputs (the prime-aware engine must stay within **1.1x** of the
+  pre-MD E12 budgets — the cograph hot path paid nothing for the new
+  capability) and on P4-sparse modular decomposition trees (the new
+  capability itself, budgeted like every other task),
 
 and writes everything as machine-readable JSON
-(``benchmarks/results/BENCH_PR6.json``) next to the human-readable
-``benchmarks/results/E11.md`` / ``E12.md`` / ``E13.md`` tables.
+(``benchmarks/results/BENCH_PR8.json``) next to the human-readable
+``benchmarks/results/E11.md`` / ``E12.md`` / ``E13.md`` / ``E15.md``
+tables.
 
 The JSON also stores a *calibration* measurement (a fixed NumPy workload),
 so a later run on a different machine can scale the baseline before
 comparing: ``--check BASELINE.json`` fails (exit 1) when any pipeline stage
 or DP task is more than ``--factor`` (default 2.0) slower than the
-calibrated baseline, or when an E13 forest-vs-batch ratio collapses — the
-CI ``perf-smoke`` job runs exactly that against the checked-in baseline.
+calibrated baseline, when an E13 forest-vs-batch ratio collapses, or when
+the E15 cograph rows exceed 1.1x the baseline's E12 budgets — the CI
+``perf-smoke`` job runs exactly that against the checked-in baseline.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_profile.py            # full run
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke \
-        --check benchmarks/results/BENCH_PR6.json                # regression
+        --check benchmarks/results/BENCH_PR8.json                # regression
 """
 
 import argparse
@@ -45,8 +52,8 @@ import time
 import numpy as np
 
 from repro._version import __version__
-from repro.api import solve, solve_forest, solve_many
-from repro.cograph import FlatCotree, random_cotree
+from repro.api import SolveOptions, solve, solve_forest, solve_many
+from repro.cograph import FlatCotree, md_tree, random_cotree, random_p4_sparse
 from repro.core.pipeline import Pipeline
 
 from _util import RESULTS_DIR, write_result_table
@@ -84,12 +91,36 @@ E13_TASKS = ("path_cover_size", "max_clique")
 FULL_E13_GRID = [(task, 10_000, 100, 3) for task in E13_TASKS]
 SMOKE_E13_GRID = [(task, 2_000, 64, 2) for task in E13_TASKS]
 
+#: the E15 modular-decomposition grid: (family, backend, n, repeats).  The
+#: ``cograph`` family reuses the pinned E12 instances so the MD-routed tasks
+#: are directly comparable to the pre-MD DP budgets; the ``p4_sparse``
+#: family exercises genuinely prime trees (spiders + bounded generic
+#: primes), where ``random_p4_sparse`` materialises Theta(n^2) edges — its
+#: sizes stay modest and the ``md_tree`` build cost is reported separately.
+MD_TASKS = ("max_clique", "max_independent_set",
+            "max_weight_clique", "max_weight_independent_set")
+FULL_MD_GRID = [
+    ("cograph", "fast", 10_000, 5),
+    ("cograph", "fast", 100_000, 3),
+    ("p4_sparse", "fast", 500, 5),
+    ("p4_sparse", "fast", 2_000, 3),
+]
+SMOKE_MD_GRID = [
+    ("cograph", "fast", 10_000, 3),
+    ("p4_sparse", "fast", 500, 3),
+]
+#: the E15 headline bound: on cograph inputs at the top fast grid point the
+#: MD-capable route must cost at most 1.1x the plain E12 budget.
+E15_FACTOR = 1.1
+E15_TOP_N = 100_000
+
 SEED = 7
-DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR6.json")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR8.json")
 COLUMNS = ["backend", "n", "input", "total_s"] + list(
     Pipeline.default().stages)
 DP_COLUMNS = ["backend", "n"] + list(DP_TASKS)
 E13_COLUMNS = ["task", "instances", "max_n", "batch_s", "forest_s", "ratio"]
+MD_COLUMNS = ["family", "backend", "n", "md_build_s"] + list(MD_TASKS)
 
 
 def calibrate() -> float:
@@ -232,6 +263,88 @@ def run_e13_grid(grid):
     return results
 
 
+def _md_instance(family: str, n: int):
+    """The pinned E15 instance for one grid point: ``(tree, md_build_s)``.
+
+    ``cograph`` reuses the exact E12 instance (so the timings compare); the
+    returned build time is 0 there because no decomposition is needed.
+    ``p4_sparse`` draws a pinned prime-rich graph and pays ``md_tree`` once
+    up front — solve() then receives the primed :class:`FlatCotree`
+    directly, so the per-task timings isolate the engine's prime path.
+    """
+    if family == "cograph":
+        return FlatCotree.from_cotree(random_cotree(n, seed=SEED)), 0.0
+    graph = random_p4_sparse(n, seed=SEED)
+    t0 = time.perf_counter()
+    flat = md_tree(graph)
+    return flat, time.perf_counter() - t0
+
+
+def profile_md(family: str, backend: str, n: int, repeats: int):
+    """Best-of-``repeats`` end-to-end seconds per MD-capable task (E15)."""
+    tree, md_build = _md_instance(family, n)
+    rng = np.random.default_rng(SEED)
+    weights = tuple(int(x) for x in rng.integers(1, 100, size=n))
+    task_seconds = {}
+    for task in MD_TASKS:
+        opts = (SolveOptions(backend=backend, weights=weights)
+                if "weight" in task else SolveOptions(backend=backend))
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solve(tree, task, options=opts)
+            best = min(best, time.perf_counter() - t0)
+        task_seconds[task] = round(best, 6)
+    return {"family": family, "backend": backend, "n": n, "repeats": repeats,
+            "md_build_seconds": round(md_build, 6),
+            "task_seconds": task_seconds}
+
+
+def run_md_grid(grid):
+    results = []
+    for family, backend, n, repeats in grid:
+        results.append(profile_md(family, backend, n, repeats))
+        worst = max(results[-1]["task_seconds"].values())
+        print(f"  md {family:<9s} {backend:4s} n={n:>7} "
+              f"build={results[-1]['md_build_seconds']:.4f}s "
+              f"slowest-task={worst:.4f}s", flush=True)
+    return results
+
+
+def check_e15_bound(payload: dict, baseline: dict) -> list:
+    """E15 acceptance: the MD-routed unweighted tasks on *cograph* inputs at
+    the top fast grid point (n = 100k) must stay within ``E15_FACTOR`` (1.1x)
+    of the baseline's plain E12 DP budgets, calibration-scaled — adding
+    prime-node capability must not tax the cograph hot path.  Applied only
+    at the top point: smaller points sit at the 2ms noise floor, where a
+    1.1x margin would flap; those are still covered by the generic
+    ``--factor`` budget on ``md_results``.
+    """
+    base_dp = {(r["backend"], r["n"]): r
+               for r in baseline.get("dp_results", [])}
+    scale = payload["calibration_seconds"] / \
+        max(baseline["calibration_seconds"], 1e-9)
+    failures = []
+    for row in payload.get("md_results", []):
+        if row["family"] != "cograph" or row["n"] < E15_TOP_N:
+            continue
+        ref = base_dp.get((row["backend"], row["n"]))
+        if ref is None:
+            continue
+        for task in ("max_clique", "max_independent_set"):
+            ref_sec = ref["task_seconds"].get(task)
+            if ref_sec is None:
+                continue
+            budget = E15_FACTOR * max(ref_sec * scale, 0.002)
+            got = row["task_seconds"][task]
+            if got > budget:
+                failures.append(
+                    f"E15 {task} {row['backend']} n={row['n']} (cograph): "
+                    f"{got:.4f}s > {E15_FACTOR:.1f} x E12 budget "
+                    f"{ref_sec:.4f}s")
+    return failures
+
+
 def check_e13_bound(payload: dict, baseline: dict, factor: float) -> list:
     """E13 acceptance: the forest sweep must stay decisively faster than the
     pooled batch.  The ratio divides two timings taken on the same machine,
@@ -312,7 +425,23 @@ def check_against(base: dict, current: dict, factor: float) -> int:
                 failures.append(
                     f"dp {row['backend']} n={row['n']} task {task!r}: "
                     f"{sec:.4f}s > {factor:.1f} x {budget:.4f}s")
+    # E15: MD task budgets, when the baseline carries md_results
+    base_md = {(r["family"], r["backend"], r["n"]): r
+               for r in base.get("md_results", [])}
+    for row in current.get("md_results", []):
+        ref = base_md.get((row["family"], row["backend"], row["n"]))
+        if ref is None:
+            continue
+        for task, sec in row["task_seconds"].items():
+            budget = max(ref["task_seconds"].get(task, 0.0) * scale, floor)
+            compared += 1
+            if sec > factor * budget:
+                failures.append(
+                    f"md {row['family']} {row['backend']} n={row['n']} "
+                    f"task {task!r}: {sec:.4f}s > "
+                    f"{factor:.1f} x {budget:.4f}s")
     failures += check_e12_bound(current, base, factor)
+    failures += check_e15_bound(current, base)
     e13_failures = check_e13_bound(current, base, factor)
     compared += sum(1 for row in current.get("e13_results", [])
                     if row["task"] in {r["task"]
@@ -367,12 +496,13 @@ def main(argv=None) -> int:
     grid = SMOKE_GRID if args.smoke else FULL_GRID
     dp_grid = SMOKE_DP_GRID if args.smoke else FULL_DP_GRID
     e13_grid = SMOKE_E13_GRID if args.smoke else FULL_E13_GRID
+    md_grid = SMOKE_MD_GRID if args.smoke else FULL_MD_GRID
     label = "smoke" if args.smoke else "full"
     print(f"[E11] per-stage profile ({label}):")
     t0 = time.perf_counter()
     payload = {
-        "schema": 3,
-        "experiment": "E11+E12+E13",
+        "schema": 4,
+        "experiment": "E11+E12+E13+E15",
         "version": __version__,
         "seed": SEED,
         "smoke": bool(args.smoke),
@@ -383,6 +513,8 @@ def main(argv=None) -> int:
     payload["dp_results"] = run_dp_grid(dp_grid)
     print(f"[E13] forest batching vs pooled batch ({label}):")
     payload["e13_results"] = run_e13_grid(e13_grid)
+    print(f"[E15] MD-capable tasks on cograph + P4-sparse inputs ({label}):")
+    payload["md_results"] = run_md_grid(md_grid)
     payload["harness_seconds"] = round(time.perf_counter() - t0, 3)
 
     os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
@@ -419,6 +551,17 @@ def main(argv=None) -> int:
         write_result_table("E13", "forest batching: one solve_forest sweep "
                            "vs the pooled batch front door "
                            "(solve_many, jobs=0)", e13_rows, E13_COLUMNS)
+        md_rows = []
+        for r in payload["md_results"]:
+            row = {"family": r["family"], "backend": r["backend"],
+                   "n": r["n"], "md_build_s": round(r["md_build_seconds"], 4)}
+            row.update({t: round(s, 4)
+                        for t, s in r["task_seconds"].items()})
+            md_rows.append(row)
+        write_result_table("E15", "MD-capable tasks end to end via solve() "
+                           "on cograph and P4-sparse inputs (seconds, best "
+                           "of repeats; md_build_s = one-off md_tree cost "
+                           "for the P4-sparse family)", md_rows, MD_COLUMNS)
 
     # E13 acceptance target: the full run must show >= 10x on every task
     # (the smoke run is gated relative to the stored baseline instead).
@@ -437,15 +580,20 @@ def main(argv=None) -> int:
     if baseline is not None:
         return check_against(baseline, payload, args.factor) or rc
     # no external baseline: still enforce the E12 acceptance bound against
-    # this very run's pipeline profile
+    # this very run's pipeline profile, and the E15 cograph-path bound
+    # against this very run's E12 timings (MD routing vs the plain DP route
+    # on the same machine, same instant)
     failures = check_e12_bound(payload, payload, args.factor)
+    failures += check_e15_bound(payload, payload)
     if failures:
-        print("E12 bound FAILED:")
+        print("E12/E15 bound FAILED:")
         for f in failures:
             print("  " + f)
         return 1
-    print("E12 bound OK: max_clique within "
-          f"{args.factor:.1f}x of the pipeline total at every fast point")
+    print(f"E12 bound OK: max_clique within {args.factor:.1f}x of the "
+          f"pipeline total at every fast point")
+    print(f"E15 bound OK: MD-routed cograph tasks within {E15_FACTOR:.1f}x "
+          f"of the E12 budgets at n={E15_TOP_N}")
     return rc
 
 

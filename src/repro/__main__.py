@@ -91,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="PRAM processor count (backend=pram only)")
     run.add_argument("--validate", action="store_true",
                      help="check the cover against the adjacency oracle")
+    run.add_argument("--weights", default=None, metavar="W0,W1,...",
+                     help="per-vertex non-negative integer weights for the "
+                          "weighted tasks (comma- or space-separated, one "
+                          "per vertex)")
     run.add_argument("--json", action="store_true",
                      help="print the full Solution as JSON (JSONL with "
                           "--stream)")
@@ -154,7 +158,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_tasks() -> int:
-    print(_task_help_lines())
+    """One line per task: name, input kind, exactly-solved graph classes
+    (``-`` for bit-vector tasks), weight support and the summary — all
+    read off the registry."""
+    names = task_names()
+    width = max(len(name) for name in names)
+    kinds = {name: TASKS[name].input_kind for name in names}
+    kwidth = max(len(k) for k in kinds.values())
+    classes = {name: ",".join(TASKS[name].graph_classes) or "-"
+               for name in names}
+    cwidth = max(len(c) for c in classes.values())
+    for name in names:
+        spec = TASKS[name]
+        weighted = "weights" if spec.uses_weights else "       "
+        print(f"  {name:<{width}s}  {kinds[name]:<{kwidth}s}  "
+              f"{classes[name]:<{cwidth}s}  {weighted}  {spec.summary}")
     return 0
 
 
@@ -216,12 +234,27 @@ def _print_solution(solution, as_json: bool) -> None:
         print(solution.summary())
 
 
+def _parse_weights(text):
+    """``"3,1,4"`` / ``"3 1 4"`` -> a weight tuple for SolveOptions."""
+    if text is None:
+        return None
+    parts = text.replace(",", " ").split()
+    if not parts:
+        raise ValueError("--weights needs at least one integer")
+    try:
+        return tuple(int(p) for p in parts)
+    except ValueError:
+        raise ValueError(f"--weights must be comma- or space-separated "
+                         f"integers, got {text!r}") from None
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     cache = SolutionCache(args.cache) if args.cache is not None else None
     options = SolveOptions(method=args.method, backend=args.backend,
                            num_processors=args.num_processors,
                            validate=args.validate, cache=cache,
-                           batch_small=args.batch_small)
+                           batch_small=args.batch_small,
+                           weights=_parse_weights(args.weights))
     if args.stream:
         if args.input is not None:
             raise ValueError("--stream reads problems from stdin; drop the "

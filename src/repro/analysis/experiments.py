@@ -146,6 +146,19 @@ EXPERIMENTS: List[ExperimentSpec] = [
         ("repro.server.app", "repro.server.runner", "repro.api.cache"),
         "benchmarks/bench_server.py"),
     ExperimentSpec(
+        "E15", "modular decomposition (engineering)",
+        "The cotree-DP engine generalised to modular decomposition trees: "
+        "md_tree() extends FlatCotree with prime nodes (closed-form "
+        "spiders, bitmask quotients up to 16 children), the MD-capable "
+        "tasks (max clique / independent set, weighted variants) answer "
+        "P4-sparse and bounded-prime graphs exactly, and cograph inputs "
+        "stay within 1.1x the pre-MD E12 budgets (bit-identical trees, "
+        "same hot path).",
+        "pinned random cotrees (n = 10^4 / 10^5) and random P4-sparse "
+        "graphs (n = 500 / 2000), fast backend",
+        ("repro.cograph.md", "repro.core.dp", "repro.api.tasks"),
+        "benchmarks/bench_profile.py"),
+    ExperimentSpec(
         "A1", "leftist condition (ablation)",
         "Without the leftist reordering the 1-node recurrence stops being "
         "minimum: the produced covers are strictly larger on adversarial "

@@ -28,7 +28,13 @@ from .adapters import SOURCE_FORMATS, Problem, as_problem
 from .cache import SolutionCache, canonical_cotree_key
 from .forest import FOREST_TASKS, solve_forest
 from .options import METHOD_NAMES, SolveOptions
-from .registry import TaskSpec, get_task, register_task, task_names
+from .registry import (
+    MD_GRAPH_CLASSES,
+    TaskSpec,
+    get_task,
+    register_task,
+    task_names,
+)
 from .solution import Solution
 from .solve import solve, solve_many, solve_stream
 
@@ -39,4 +45,5 @@ __all__ = [
     "SolveOptions", "Solution", "SolutionCache", "canonical_cotree_key",
     "Problem", "as_problem", "SOURCE_FORMATS", "METHOD_NAMES",
     "register_task", "task_names", "get_task", "TaskSpec",
+    "MD_GRAPH_CLASSES",
 ]

@@ -34,7 +34,9 @@ from ..cograph import (
     Cotree,
     FlatCotree,
     Graph,
+    NotACographError,
     cotree_from_graph,
+    md_tree,
 )
 from ..core import LowerBoundInstance, or_instance_cotree
 from ..io import cotree_from_text, load_json
@@ -77,6 +79,7 @@ class Problem:
     instance: Optional[LowerBoundInstance] = None
     source: Optional[str] = None
     _cached_tree: Optional[TreeLike] = field(default=None, repr=False)
+    _cached_md: Optional[FlatCotree] = field(default=None, repr=False)
 
     def cotree(self) -> Union[Cotree, BinaryCotree]:
         """The instance's cotree as a :class:`Cotree` / ``BinaryCotree``,
@@ -107,6 +110,27 @@ class Problem:
         if isinstance(self.tree, FlatCotree):
             return self.tree
         return self.cotree()
+
+    def decomposition_tree(self) -> TreeLike:
+        """The tree an MD-capable task should consume.
+
+        Cograph inputs come back through exactly the same path as
+        :meth:`pipeline_tree` — bit-identical answers, no new code on the
+        common case.  A *non-cograph* graph instead gets its modular
+        decomposition tree (:func:`~repro.cograph.md_tree`, cached), whose
+        prime nodes the DP engine handles.  Non-graph inputs that are not
+        cographs (there are none today) still raise
+        :class:`~repro.cograph.NotACographError`.
+        """
+        if self._cached_md is not None:
+            return self._cached_md
+        if self.graph is None:
+            return self.pipeline_tree()
+        try:
+            return self.pipeline_tree()
+        except NotACographError:
+            self._cached_md = md_tree(self.graph)
+            return self._cached_md
 
     @property
     def num_vertices(self) -> int:

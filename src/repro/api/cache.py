@@ -97,9 +97,12 @@ class SolutionCache:
 
         Bit-vector (lower-bound) instances key on their bits; everything
         else keys on :func:`canonical_cotree_key` of the instance's cotree.
-        A graph input that is not a cograph has no cotree — those return
-        ``None`` and bypass the cache (the ``recognition`` task still
-        answers ``False`` for them).
+        A graph input that is not a cograph has no cotree — for an
+        MD-capable task those key on the canonical form of the modular
+        decomposition tree (prime quotients included, see
+        :func:`repro.cograph.flat.canonical_key`); for every other task
+        they return ``None`` and bypass the cache (the ``recognition``
+        task still answers ``False`` for them).
         """
         if problem.instance is not None:
             problem_key: Tuple = (
@@ -108,7 +111,12 @@ class SolutionCache:
             try:
                 problem_key = canonical_cotree_key(problem.pipeline_tree())
             except NotACographError:
-                return None
+                from .registry import TASKS
+                spec = TASKS.get(task)
+                if spec is None or not spec.accepts_prime_modules:
+                    return None
+                problem_key = canonical_cotree_key(
+                    problem.decomposition_tree())
         options_key = tuple(sorted(options.to_dict().items()))
         return (task, problem_key, options_key)
 

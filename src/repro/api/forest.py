@@ -97,6 +97,8 @@ def _eligible_flat(prob: Problem):
         flat = tree if type(tree) is FlatCotree else as_flat_cotree(tree)
     except NotACographError:
         return None
+    if flat.has_primes:                     # MD trees don't pack (PR 8)
+        return None
     v = flat.vertices                       # sorted, cached on the instance
     n = v.size
     if n < 1 or v[0] != 0 or v[-1] != n - 1:

@@ -13,7 +13,7 @@ drop ``backend`` on the floor; now it raises :class:`ValueError`.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..backends import BACKEND_NAMES
 from ..pram import AccessMode
@@ -68,6 +68,14 @@ class SolveOptions:
         this is a *dispatch* knob, not an engine choice: it never changes
         any answer, is excluded from :meth:`to_dict`, and does not
         perturb cache keys.
+    weights:
+        per-vertex non-negative integer weights for the weighted DP tasks
+        (``max_weight_independent_set`` / ``max_weight_clique``): entry
+        ``i`` is vertex ``i``'s weight, so the length must equal the
+        instance's vertex count.  Normalised to a tuple of ints; any
+        sequence is accepted.  Weights *are* part of the problem, so they
+        participate in :meth:`to_dict` (and therefore cache keys).  The
+        front door rejects weights passed to a task that ignores them.
     """
 
     method: str = "parallel"
@@ -79,6 +87,7 @@ class SolveOptions:
     record_steps: bool = False
     cache: Optional[SolutionCache] = None
     batch_small: Optional[int] = None
+    weights: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHOD_NAMES:
@@ -99,6 +108,18 @@ class SolveOptions:
                 raise ValueError(f"batch_small must be >= 1 or None, "
                                  f"got {self.batch_small!r}")
             object.__setattr__(self, "batch_small", threshold)
+        if self.weights is not None:
+            try:
+                normalised = tuple(int(w) for w in self.weights)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"weights must be a sequence of integers or None, "
+                    f"got {self.weights!r}") from None
+            if any(w < 0 for w in normalised):
+                bad = next(w for w in normalised if w < 0)
+                raise ValueError(f"weights must be non-negative (the "
+                                 f"weighted DP specs require it), got {bad}")
+            object.__setattr__(self, "weights", normalised)
 
         if self.method == "sequential":
             bad = self._non_default_parallel_knobs()

@@ -16,7 +16,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 __all__ = ["TaskSpec", "register_task", "get_task", "task_names", "TASKS",
-           "INPUT_KINDS"]
+           "INPUT_KINDS", "MD_GRAPH_CLASSES"]
+
+
+#: the graph classes an MD-capable task handles *exactly*: cographs (the
+#: paper's class), P4-sparse graphs (every prime quotient is a spider,
+#: solved in closed form), and any graph whose prime quotients have at
+#: most :data:`~repro.core.dp.MAX_GENERIC_PRIME` maximal strong modules
+#: (solved by the vectorized bitmask brute force).
+MD_GRAPH_CLASSES = ("cograph", "p4_sparse", "bounded_prime")
 
 
 @dataclass(frozen=True)
@@ -41,6 +49,15 @@ class TaskSpec:
         or ``"bits"`` (a 0/1 bit vector — the lower-bound reduction).  The
         input adapters and the CLI consult this instead of hard-coding
         task names, so new bit-vector tasks inherit the parsing.
+    graph_classes:
+        the graph classes the task answers exactly.  ``("cograph",)`` for
+        the pipeline tasks; :data:`MD_GRAPH_CLASSES` for the cotree-DP
+        tasks that run on modular decomposition trees; ``("any",)`` for
+        ``recognition``; ``()`` for bit-vector tasks.  Surfaced by
+        ``python -m repro tasks`` and the server's ``/healthz``.
+    uses_weights:
+        whether the task consumes ``SolveOptions(weights=...)``; the front
+        door rejects weights passed to any task that ignores them.
     """
 
     name: str
@@ -48,6 +65,14 @@ class TaskSpec:
     runs_pipeline: bool
     summary: str
     input_kind: str = "cotree"
+    graph_classes: Tuple[str, ...] = ("cograph",)
+    uses_weights: bool = False
+
+    @property
+    def accepts_prime_modules(self) -> bool:
+        """Can the task consume modular decomposition trees with prime
+        nodes (i.e. non-cograph inputs)?"""
+        return "bounded_prime" in self.graph_classes
 
 
 #: the global registry; mutate only through :func:`register_task`.
@@ -59,7 +84,9 @@ INPUT_KINDS = ("cotree", "bits")
 
 
 def register_task(name: str, *, runs_pipeline: bool = True,
-                  summary: str = "", input_kind: str = "cotree") -> Callable:
+                  summary: str = "", input_kind: str = "cotree",
+                  graph_classes: Tuple[str, ...] = ("cograph",),
+                  uses_weights: bool = False) -> Callable:
     """Register a task implementation under ``name`` (decorator).
 
     ::
@@ -79,6 +106,10 @@ def register_task(name: str, *, runs_pipeline: bool = True,
     if input_kind not in INPUT_KINDS:
         raise ValueError(f"unknown input_kind {input_kind!r}; use one of "
                          f"{INPUT_KINDS}")
+    graph_classes = tuple(graph_classes)
+    if not all(c and isinstance(c, str) for c in graph_classes):
+        raise ValueError(f"graph_classes must be a tuple of non-empty "
+                         f"strings, got {graph_classes!r}")
 
     def decorator(fn: Callable) -> Callable:
         if name in TASKS:
@@ -88,7 +119,9 @@ def register_task(name: str, *, runs_pipeline: bool = True,
                                runs_pipeline=runs_pipeline,
                                summary=summary or (fn.__doc__ or "").strip()
                                .split("\n")[0],
-                               input_kind=input_kind)
+                               input_kind=input_kind,
+                               graph_classes=graph_classes,
+                               uses_weights=uses_weights)
         return fn
 
     return decorator

@@ -54,6 +54,18 @@ def _resolve_options(options: Optional[SolveOptions],
     return SolveOptions(**option_fields)
 
 
+def _reject_unused_weights(spec, options: SolveOptions) -> None:
+    """Weights passed to a task that ignores them are an error, never a
+    silent no-op (same contract as every other option)."""
+    if options.weights is not None and not spec.uses_weights:
+        from .registry import TASKS
+        weighted = sorted(n for n, s in TASKS.items() if s.uses_weights)
+        raise ValueError(
+            f"task {spec.name!r} takes no vertex weights; "
+            f"SolveOptions(weights=...) only applies to the weighted "
+            f"tasks {weighted}")
+
+
 def _reject_pipeline_options(task: str, options: SolveOptions) -> None:
     """Tasks that never run the solver pipeline reject non-default options
     instead of silently ignoring them.  (The ``cache`` is excluded from
@@ -115,6 +127,7 @@ def solve(problem: Any, task: str = "path_cover", *,
     """
     opts = _resolve_options(options, option_fields)
     spec = get_task(task)
+    _reject_unused_weights(spec, opts)
     prob = as_problem(problem, task=task)
     if not spec.runs_pipeline:
         _reject_pipeline_options(task, opts)
@@ -192,6 +205,7 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
     """
     opts = _resolve_options(options, option_fields)
     spec = get_task(task)  # fail fast on unknown tasks, before adapting
+    _reject_unused_weights(spec, opts)
     cache = opts.cache
     threshold = opts.batch_small
     worker_opts = opts.with_(cache=None, batch_small=None) \

@@ -1,30 +1,36 @@
 """The built-in tasks of the :func:`repro.api.solve` front door.
 
-Eleven tasks ship with the library; each is a plain function registered
+Thirteen tasks ship with the library; each is a plain function registered
 with :func:`~repro.api.registry.register_task`, so they double as examples
 for out-of-tree tasks:
 
-============================  =============================================
-``path_cover``                the minimum path cover itself (the paper's
-                              main theorem)
-``path_cover_size``           just ``p(root)`` — analytic by default, via
-                              the pipeline when a backend is forced
-``hamiltonian_path``          a Hamiltonian path witness, or ``None``
-``hamiltonian_cycle``         a Hamiltonian cycle witness, or ``None``
-``recognition``               is the input graph a cograph at all?
-``lower_bound``               the Fig. 2 OR reduction, solved end-to-end
-``max_clique``                omega(G) with a vertex witness
-``max_independent_set``       alpha(G) with a vertex witness
-``chromatic_number``          chi(G) with a proper colouring witness
-``clique_cover``              theta(G) with a clique-partition witness
-``count_independent_sets``    exact #IS (arbitrary precision)
-============================  =============================================
+=============================  ============================================
+``path_cover``                 the minimum path cover itself (the paper's
+                               main theorem)
+``path_cover_size``            just ``p(root)`` — analytic by default, via
+                               the pipeline when a backend is forced
+``hamiltonian_path``           a Hamiltonian path witness, or ``None``
+``hamiltonian_cycle``          a Hamiltonian cycle witness, or ``None``
+``recognition``                is the input graph a cograph at all?
+``lower_bound``                the Fig. 2 OR reduction, solved end-to-end
+``max_clique``                 omega(G) with a vertex witness
+``max_independent_set``        alpha(G) with a vertex witness
+``max_weight_clique``          heaviest clique under vertex weights
+``max_weight_independent_set`` heaviest independent set under weights
+``chromatic_number``           chi(G) with a proper colouring witness
+``clique_cover``               theta(G) with a clique-partition witness
+``count_independent_sets``     exact #IS (arbitrary precision)
+=============================  ============================================
 
-The last five (and the size computations behind ``lower_bound`` and
+The last seven (and the size computations behind ``lower_bound`` and
 ``path_cover_size``) all run on the declarative cotree-DP engine
 (:mod:`repro.core.dp`): one :class:`~repro.core.CotreeDP` spec per task,
 executed level-wise over :class:`~repro.cograph.FlatCotree` CSR arrays on
-whichever backend the options select.
+whichever backend the options select.  The extremal-set tasks
+(``max_clique``, ``max_independent_set`` and both weighted variants) are
+**MD-capable**: their DP specs carry prime combiners, so they consume the
+modular decomposition tree of *any* graph whose prime quotients are
+spiders (P4-sparse graphs) or small (arity <= 16) — not just cographs.
 """
 
 from __future__ import annotations
@@ -38,8 +44,10 @@ from ..baselines import sequential_path_cover
 from ..cograph import (
     BinaryCotree,
     CographAdjacencyOracle,
+    FlatCotree,
     NotACographError,
     binarize_cotree,
+    graph_from_md_tree,
     make_leftist,
     minimum_path_cover_size,
     path_cover_sizes_per_node,
@@ -60,13 +68,15 @@ from ..core.dp import (
     PATH_COVER_SIZE_DP,
     CotreeDP,
     CotreeDPRun,
+    max_weight_clique_dp,
+    max_weight_independent_set_dp,
     run_cotree_dp,
     run_cotree_dp_sequential,
 )
 from ..core.solver import _build_context
 from .adapters import Problem
 from .options import SolveOptions
-from .registry import register_task
+from .registry import MD_GRAPH_CLASSES, register_task
 from .solution import Solution
 
 __all__ = []  # tasks are reached through the registry, not by name
@@ -180,7 +190,7 @@ def _task_hamiltonian_cycle(problem: Problem,
 # recognition
 # --------------------------------------------------------------------------- #
 
-@register_task("recognition", runs_pipeline=False,
+@register_task("recognition", runs_pipeline=False, graph_classes=("any",),
                summary="is the input a cograph? (False carries the "
                        "induced-P4 certificate)")
 def _task_recognition(problem: Problem, options: SolveOptions) -> Solution:
@@ -205,8 +215,8 @@ def _task_recognition(problem: Problem, options: SolveOptions) -> Solution:
 # the cotree-DP tasks
 # --------------------------------------------------------------------------- #
 
-def _run_dp(problem: Problem, options: SolveOptions,
-            dp: CotreeDP) -> Tuple[CotreeDPRun, Dict[str, float]]:
+def _run_dp(problem: Problem, options: SolveOptions, dp: CotreeDP, *,
+            md: bool = False) -> Tuple[CotreeDPRun, Dict[str, float]]:
     """Execute one :class:`~repro.core.CotreeDP` under the options' engine.
 
     ``method="sequential"`` runs the generic postorder evaluator;
@@ -215,8 +225,14 @@ def _run_dp(problem: Problem, options: SolveOptions,
     EREW accounting).  The ``work_efficient`` knob has no effect here —
     the engine has a single variant — and is deliberately tolerated so
     option sets can sweep across tasks.
+
+    ``md=True`` (the MD-capable tasks: their DP specs carry a prime
+    combiner) feeds the engine :meth:`~repro.api.Problem.decomposition_tree`
+    instead of the plain cotree, so non-cograph graphs are solved through
+    their modular decomposition.  Cograph inputs take the exact same path
+    either way — bit-identical answers.
     """
-    tree = problem.pipeline_tree()
+    tree = problem.decomposition_tree() if md else problem.pipeline_tree()
     t0 = time.perf_counter()
     if options.method == "sequential":
         run = run_cotree_dp_sequential(dp, tree)
@@ -246,7 +262,27 @@ def _witness(run: CotreeDPRun, stage_seconds: Dict[str, float]):
     return witness
 
 
-def _oracle(problem: Problem) -> CographAdjacencyOracle:
+class _GraphOracle:
+    """Adjacency oracle over an explicit :class:`~repro.cograph.Graph`,
+    with the same ``adjacent`` surface as
+    :class:`~repro.cograph.CographAdjacencyOracle` — used to validate
+    witnesses on non-cograph (modular decomposition) inputs."""
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+
+    def adjacent(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+
+def _oracle(problem: Problem):
+    """The adjacency oracle witnesses are validated against: the LCA
+    oracle on cograph inputs, the explicit graph on MD inputs."""
+    if problem.graph is not None:
+        return _GraphOracle(problem.graph)
+    tree = problem.pipeline_tree()
+    if isinstance(tree, FlatCotree) and tree.has_primes:
+        return _GraphOracle(graph_from_md_tree(tree))
     return CographAdjacencyOracle(problem.cotree())
 
 
@@ -269,11 +305,11 @@ def _check_vertex_set(problem: Problem, vertices, size: int, *,
                     f"{'not ' if adjacent else ''}adjacent")
 
 
-@register_task("max_clique",
+@register_task("max_clique", graph_classes=MD_GRAPH_CLASSES,
                summary="omega(G) and a maximum-clique vertex witness "
-                       "(cotree DP)")
+                       "(cotree DP; MD-capable)")
 def _task_max_clique(problem: Problem, options: SolveOptions) -> Solution:
-    run, seconds = _run_dp(problem, options, MAX_CLIQUE_DP)
+    run, seconds = _run_dp(problem, options, MAX_CLIQUE_DP, md=True)
     size = run.root("omega")
     vertices = [int(v) for v in _witness(run, seconds)]
     if options.validate:
@@ -284,12 +320,12 @@ def _task_max_clique(problem: Problem, options: SolveOptions) -> Solution:
                         options, seconds)
 
 
-@register_task("max_independent_set",
+@register_task("max_independent_set", graph_classes=MD_GRAPH_CLASSES,
                summary="alpha(G) and a maximum-independent-set vertex "
-                       "witness (cotree DP)")
+                       "witness (cotree DP; MD-capable)")
 def _task_max_independent_set(problem: Problem,
                               options: SolveOptions) -> Solution:
-    run, seconds = _run_dp(problem, options, MAX_INDEPENDENT_SET_DP)
+    run, seconds = _run_dp(problem, options, MAX_INDEPENDENT_SET_DP, md=True)
     size = run.root("alpha")
     vertices = [int(v) for v in _witness(run, seconds)]
     if options.validate:
@@ -297,6 +333,74 @@ def _task_max_independent_set(problem: Problem,
                           what="max_independent_set")
     return _dp_solution("max_independent_set", run,
                         {"size": size, "vertices": vertices},
+                        options, seconds)
+
+
+def _task_weights(problem: Problem, options: SolveOptions,
+                  task: str) -> np.ndarray:
+    """The validated per-vertex weight vector of a weighted task."""
+    if options.weights is None:
+        raise ValueError(
+            f"task {task!r} needs per-vertex weights; pass "
+            f"SolveOptions(weights=[w0, w1, ...]) (or the weights= "
+            f"keyword) with one non-negative integer per vertex")
+    n = problem.num_vertices
+    if len(options.weights) != n:
+        raise ValueError(
+            f"weights length {len(options.weights)} does not match the "
+            f"instance's {n} vertices")
+    return np.asarray(options.weights, dtype=np.int64)
+
+
+def _check_weighted_set(problem: Problem, vertices, weights: np.ndarray,
+                        claimed: int, *, adjacent: bool, what: str) -> None:
+    """Weighted-witness validation: the set is extremal-feasible *and* its
+    weight sum matches the DP's root value."""
+    _check_vertex_set(problem, vertices, len(vertices), adjacent=adjacent,
+                      what=what)
+    total = int(weights[np.asarray(vertices, dtype=np.int64)].sum()) \
+        if len(vertices) else 0
+    if total != claimed:
+        raise ValueError(f"{what} witness weighs {total}, "
+                         f"claimed {claimed}")
+
+
+@register_task("max_weight_independent_set", graph_classes=MD_GRAPH_CLASSES,
+               uses_weights=True,
+               summary="a maximum-weight independent set under per-vertex "
+                       "weights (cotree DP; MD-capable)")
+def _task_max_weight_independent_set(problem: Problem,
+                                     options: SolveOptions) -> Solution:
+    weights = _task_weights(problem, options, "max_weight_independent_set")
+    run, seconds = _run_dp(problem, options,
+                           max_weight_independent_set_dp(weights), md=True)
+    weight = run.root("alpha")
+    vertices = [int(v) for v in _witness(run, seconds)]
+    if options.validate:
+        _check_weighted_set(problem, vertices, weights, weight,
+                            adjacent=False,
+                            what="max_weight_independent_set")
+    return _dp_solution("max_weight_independent_set", run,
+                        {"weight": weight, "vertices": vertices},
+                        options, seconds)
+
+
+@register_task("max_weight_clique", graph_classes=MD_GRAPH_CLASSES,
+               uses_weights=True,
+               summary="a maximum-weight clique under per-vertex weights "
+                       "(cotree DP; MD-capable)")
+def _task_max_weight_clique(problem: Problem,
+                            options: SolveOptions) -> Solution:
+    weights = _task_weights(problem, options, "max_weight_clique")
+    run, seconds = _run_dp(problem, options,
+                           max_weight_clique_dp(weights), md=True)
+    weight = run.root("omega")
+    vertices = [int(v) for v in _witness(run, seconds)]
+    if options.validate:
+        _check_weighted_set(problem, vertices, weights, weight,
+                            adjacent=True, what="max_weight_clique")
+    return _dp_solution("max_weight_clique", run,
+                        {"weight": weight, "vertices": vertices},
                         options, seconds)
 
 
@@ -375,7 +479,7 @@ def _task_count_independent_sets(problem: Problem,
 # the lower-bound reduction
 # --------------------------------------------------------------------------- #
 
-@register_task("lower_bound", input_kind="bits",
+@register_task("lower_bound", input_kind="bits", graph_classes=(),
                summary="solve the Fig. 2 OR-reduction instance and decode "
                        "OR from the path count (Theorem 2.2)")
 def _task_lower_bound(problem: Problem, options: SolveOptions) -> Solution:

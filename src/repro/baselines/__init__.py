@@ -9,6 +9,8 @@ from .brute_force import (
     brute_force_has_hamiltonian_path,
     brute_force_max_clique,
     brute_force_max_independent_set,
+    brute_force_max_weight_clique,
+    brute_force_max_weight_independent_set,
     brute_force_path_cover,
     brute_force_path_cover_size,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "brute_force_path_cover", "brute_force_path_cover_size",
     "brute_force_has_hamiltonian_path", "brute_force_has_hamiltonian_cycle",
     "brute_force_max_clique", "brute_force_max_independent_set",
+    "brute_force_max_weight_clique",
+    "brute_force_max_weight_independent_set",
     "brute_force_chromatic_number", "brute_force_clique_cover_number",
     "brute_force_count_independent_sets",
     "greedy_path_cover",

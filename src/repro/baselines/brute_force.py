@@ -16,6 +16,8 @@ __all__ = ["brute_force_path_cover", "brute_force_path_cover_size",
            "brute_force_has_hamiltonian_path",
            "brute_force_has_hamiltonian_cycle",
            "brute_force_max_clique", "brute_force_max_independent_set",
+           "brute_force_max_weight_clique",
+           "brute_force_max_weight_independent_set",
            "brute_force_chromatic_number", "brute_force_clique_cover_number",
            "brute_force_count_independent_sets"]
 
@@ -194,6 +196,50 @@ def brute_force_max_clique(graph: Graph) -> int:
         is_clique[mask] = is_clique[rest] and (nb[v] & rest) == rest
         if is_clique[mask]:
             best = max(best, bin(mask).count("1"))
+    return best
+
+
+def _check_weights(graph: Graph, weights) -> List[int]:
+    w = [int(x) for x in weights]
+    if len(w) != graph.n:
+        raise ValueError(f"weights length {len(w)} does not match "
+                         f"{graph.n} vertices")
+    if any(x < 0 for x in w):
+        raise ValueError("weights must be non-negative")
+    return w
+
+
+def brute_force_max_weight_independent_set(graph: Graph, weights) -> int:
+    """Maximum total weight of an independent set (exact, ``O(2^n)``)."""
+    if graph.n == 0:
+        return 0
+    w = _check_weights(graph, weights)
+    is_ind = _independent_masks(graph)
+    best = 0
+    for mask in range(1 << graph.n):
+        if is_ind[mask]:
+            total = sum(w[v] for v in range(graph.n) if mask & (1 << v))
+            best = max(best, total)
+    return best
+
+
+def brute_force_max_weight_clique(graph: Graph, weights) -> int:
+    """Maximum total weight of a clique (exact, ``O(2^n)``)."""
+    n = graph.n
+    _check_size(n)
+    if n == 0:
+        return 0
+    w = _check_weights(graph, weights)
+    nb = _neighbour_masks(graph)
+    is_clique = [False] * (1 << n)
+    is_clique[0] = True
+    best = 0
+    for mask in range(1, 1 << n):
+        v = (mask & -mask).bit_length() - 1
+        rest = mask & (mask - 1)
+        is_clique[mask] = is_clique[rest] and (nb[v] & rest) == rest
+        if is_clique[mask]:
+            best = max(best, sum(w[u] for u in range(n) if mask & (1 << u)))
     return best
 
 

@@ -7,7 +7,7 @@ join, complement), recognition from a plain graph, adjacency oracles, and the
 """
 
 from .binary import BinaryCotree, binarize_cotree
-from .cotree import JOIN, LEAF, UNION, Cotree, CotreeError, kind_name
+from .cotree import JOIN, LEAF, PRIME, UNION, Cotree, CotreeError, kind_name
 from .flat import FlatCotree, as_flat_cotree, canonical_key
 from .forest import BinaryForest, FlatForest, pack, unpack
 from .generators import (
@@ -19,12 +19,14 @@ from .generators import (
     join_of_independent_sets,
     random_cograph_edges,
     random_cotree,
+    random_p4_sparse,
     single_vertex,
     threshold_cograph,
     union_of_cliques,
 )
 from .graph import Graph
 from .lca import CographAdjacencyOracle
+from .md import graph_from_md_tree, md_tree
 from .operations import (
     complement_cotree,
     join_cotrees,
@@ -42,16 +44,17 @@ from .validation import (
 )
 
 __all__ = [
-    "LEAF", "UNION", "JOIN", "kind_name",
+    "LEAF", "UNION", "JOIN", "PRIME", "kind_name",
     "Cotree", "CotreeError", "BinaryCotree", "binarize_cotree",
     "FlatCotree", "as_flat_cotree", "canonical_key",
     "FlatForest", "BinaryForest", "pack", "unpack",
     "Graph", "CographAdjacencyOracle",
+    "md_tree", "graph_from_md_tree",
     "PathCover", "PathCoverError",
     "single_vertex", "independent_set", "clique", "complete_bipartite",
     "union_of_cliques", "join_of_independent_sets", "balanced_cotree",
     "caterpillar_cotree", "threshold_cograph", "random_cotree",
-    "random_cograph_edges",
+    "random_cograph_edges", "random_p4_sparse",
     "union_cotrees", "join_cotrees", "complement_cotree", "relabel_disjoint",
     "cotree_from_graph", "is_cograph", "find_induced_p4", "NotACographError",
     "validate_cotree", "validate_binary_cotree", "make_leftist",

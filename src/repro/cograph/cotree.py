@@ -28,6 +28,7 @@ __all__ = [
     "LEAF",
     "UNION",
     "JOIN",
+    "PRIME",
     "Cotree",
     "CotreeError",
     "kind_name",
@@ -39,8 +40,15 @@ LEAF: int = 0
 UNION: int = 1
 #: Node-kind code for a 1-node (join of its children).
 JOIN: int = 2
+#: Node-kind code for a prime node of a *modular decomposition* tree: the
+#: children are the node's maximal strong modules and a packed quotient
+#: graph over them (carried by :class:`~repro.cograph.FlatCotree` CSR
+#: side-arrays) records which child pairs are joined.  Cotrees never
+#: contain this kind — it only appears in trees built by
+#: :func:`~repro.cograph.md_tree`.
+PRIME: int = 3
 
-_KIND_NAMES = {LEAF: "leaf", UNION: "0", JOIN: "1"}
+_KIND_NAMES = {LEAF: "leaf", UNION: "0", JOIN: "1", PRIME: "prime"}
 
 
 def kind_name(kind: int) -> str:

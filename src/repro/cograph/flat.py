@@ -32,7 +32,7 @@ from .._dfs import (
     chase_pointers as _chase,
     depth_by_doubling as _depth_by_doubling,
 )
-from .cotree import LEAF, Cotree, CotreeError
+from .cotree import LEAF, PRIME, Cotree, CotreeError
 
 if _HAVE_SPARSE_DFS:  # pragma: no branch - scipy ships in CI and dev
     from scipy.sparse import csr_matrix as _csr_matrix
@@ -60,14 +60,33 @@ class FlatCotree:
         vertex id carried by each leaf (``-1`` for internal nodes).
     root:
         root node id.
+    q_offset / q_edge_u / q_edge_v:
+        packed quotient-edge payload for :data:`~repro.cograph.cotree.PRIME`
+        nodes (modular decomposition trees).  The quotient graph of prime
+        node ``u`` has one vertex per child, numbered by **local child slot**
+        (position inside ``children_of(u)``, so the payload survives node
+        renumbering and forest packing); its edges are
+        ``zip(q_edge_u[q_offset[u]:q_offset[u+1]],
+        q_edge_v[q_offset[u]:q_offset[u+1]])`` with ``u < v`` per edge.
+        Non-prime nodes have zero-width slices.  All three default to empty
+        arrays, so plain cotrees carry no payload and stay bit-identical to
+        the pre-MD layout.
+    spider:
+        ``int8`` per-node flag for prime nodes whose quotient is a spider
+        (``0`` generic, ``1`` thin, ``2`` thick).  A spider-flagged prime
+        lays its children out as ``[s_1..s_k, k_1..k_k, (r)]`` (feet, body,
+        optional head) so closed-form DP combines need no edge scan.
     """
 
     __slots__ = ("kind", "child_offset", "child_index", "parent",
                  "leaf_vertex", "root",
-                 "_leaves", "_internal", "_vertices", "_degrees")
+                 "q_offset", "q_edge_u", "q_edge_v", "spider",
+                 "_leaves", "_internal", "_vertices", "_degrees",
+                 "_has_primes")
 
     def __init__(self, kind, child_offset, child_index, parent, leaf_vertex,
-                 root: int) -> None:
+                 root: int, *, q_offset=None, q_edge_u=None, q_edge_v=None,
+                 spider=None) -> None:
         self.kind = np.asarray(kind, dtype=np.int8)
         self.child_offset = np.asarray(child_offset, dtype=np.int64)
         self.child_index = np.asarray(child_index, dtype=np.int64)
@@ -79,12 +98,32 @@ class FlatCotree:
         self._internal = None
         self._vertices = None
         self._degrees = None
+        self._has_primes = None
         n = len(self.kind)
         if len(self.child_offset) != n + 1:
             raise CotreeError("child_offset must have num_nodes + 1 entries")
         if not (len(self.parent) == n == len(self.leaf_vertex)):
             raise CotreeError("kind, parent and leaf_vertex must have the "
                               "same length")
+        empty = np.empty(0, dtype=np.int64)
+        self.q_offset = empty if q_offset is None else \
+            np.asarray(q_offset, dtype=np.int64)
+        self.q_edge_u = empty if q_edge_u is None else \
+            np.asarray(q_edge_u, dtype=np.int64)
+        self.q_edge_v = empty if q_edge_v is None else \
+            np.asarray(q_edge_v, dtype=np.int64)
+        self.spider = np.empty(0, dtype=np.int8) if spider is None else \
+            np.asarray(spider, dtype=np.int8)
+        if bool(np.any(self.kind == PRIME)):
+            if len(self.q_offset) != n + 1:
+                raise CotreeError("a tree with prime nodes needs a quotient "
+                                  "payload: q_offset must have num_nodes + 1 "
+                                  "entries")
+            if len(self.q_edge_u) != len(self.q_edge_v):
+                raise CotreeError("q_edge_u and q_edge_v must have the same "
+                                  "length")
+            if len(self.spider) != n:
+                raise CotreeError("spider must have one flag per node")
 
     # ------------------------------------------------------------------ #
     # conversions
@@ -128,6 +167,9 @@ class FlatCotree:
     def to_cotree(self) -> Cotree:
         """Convert back to a list-of-lists :class:`Cotree` (same node ids and
         child order)."""
+        if self.has_primes:
+            raise CotreeError("a modular decomposition tree with prime nodes "
+                              "has no plain-Cotree form; keep it flat")
         flat = self.child_index.tolist()
         bounds = self.child_offset.tolist()
         children = [flat[bounds[u]:bounds[u + 1]]
@@ -137,7 +179,11 @@ class FlatCotree:
     def copy(self) -> "FlatCotree":
         return FlatCotree(self.kind.copy(), self.child_offset.copy(),
                           self.child_index.copy(), self.parent.copy(),
-                          self.leaf_vertex.copy(), self.root)
+                          self.leaf_vertex.copy(), self.root,
+                          q_offset=self.q_offset.copy(),
+                          q_edge_u=self.q_edge_u.copy(),
+                          q_edge_v=self.q_edge_v.copy(),
+                          spider=self.spider.copy())
 
     # ------------------------------------------------------------------ #
     # basic properties (mirror the Cotree surface)
@@ -186,6 +232,30 @@ class FlatCotree:
                                 self.child_offset[node + 1]]
 
     # ------------------------------------------------------------------ #
+    # modular decomposition payload
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_primes(self) -> bool:
+        """Whether any node is a :data:`~repro.cograph.cotree.PRIME` node
+        (i.e. this is a proper modular decomposition tree, not a cotree)."""
+        if self._has_primes is None:
+            self._has_primes = bool(np.any(self.kind == PRIME))
+        return self._has_primes
+
+    @property
+    def prime_nodes(self) -> np.ndarray:
+        """Array of prime node ids (empty for plain cotrees)."""
+        return np.flatnonzero(self.kind == PRIME)
+
+    def quotient_of(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Quotient-graph edges of prime ``node`` as ``(u, v)`` arrays of
+        **local child slots** (``u < v`` per edge)."""
+        lo = self.q_offset[node]
+        hi = self.q_offset[node + 1]
+        return self.q_edge_u[lo:hi], self.q_edge_v[lo:hi]
+
+    # ------------------------------------------------------------------ #
     # canonical form (vectorized)
     # ------------------------------------------------------------------ #
 
@@ -197,8 +267,10 @@ class FlatCotree:
         deg = self.degrees()
         if np.any(deg[internal] < 2):
             return False
-        # no internal child shares its parent's label
-        child = np.flatnonzero((self.parent != -1) & internal)
+        # no internal child shares its parent's label (prime nodes never
+        # merge: adjacent primes are legal in a modular decomposition tree)
+        child = np.flatnonzero((self.parent != -1) & internal
+                               & (self.kind != PRIME))
         return not bool(np.any(self.kind[child] ==
                                self.kind[self.parent[child]]))
 
@@ -214,6 +286,13 @@ class FlatCotree:
         n = self.num_nodes
         if n == 0:
             return self
+        if self.has_primes:
+            # md_tree emits canonical trees; renumbering would invalidate
+            # the local-slot quotient payload, so reject the rare non-
+            # canonical case instead of silently corrupting it.
+            if self.is_canonical():
+                return self
+            raise CotreeError("cannot canonicalize a tree with prime nodes")
         kind = self.kind
         parent = self.parent
         internal = kind != LEAF
@@ -286,7 +365,10 @@ class FlatCotree:
                 and np.array_equal(self.kind, other.kind)
                 and np.array_equal(self.child_offset, other.child_offset)
                 and np.array_equal(self.child_index, other.child_index)
-                and np.array_equal(self.leaf_vertex, other.leaf_vertex))
+                and np.array_equal(self.leaf_vertex, other.leaf_vertex)
+                and np.array_equal(self.q_offset, other.q_offset)
+                and np.array_equal(self.q_edge_u, other.q_edge_u)
+                and np.array_equal(self.q_edge_v, other.q_edge_v))
 
     def __hash__(self) -> int:
         return hash(canonical_key(self))
@@ -418,7 +500,28 @@ def canonical_key(tree) -> Tuple:
     pre = _preorder_with_sibling_keys(flat.parent, flat.root, minv)
     by_pre = np.empty(n, dtype=np.int64)
     by_pre[pre] = np.arange(n, dtype=np.int64)
-    return ("cotree", n,
-            flat.kind[by_pre].tobytes(),
-            depth[by_pre].astype(np.int64).tobytes(),
-            flat.leaf_vertex[by_pre].astype(np.int64).tobytes())
+    key = ("cotree", n,
+           flat.kind[by_pre].tobytes(),
+           depth[by_pre].astype(np.int64).tobytes(),
+           flat.leaf_vertex[by_pre].astype(np.int64).tobytes())
+    if not flat.has_primes:
+        return key
+    # fold the quotient-edge payload in, expressed in *canonical* child
+    # numbering (rank by min subtree vertex — the key's sibling order), so
+    # equal labelled graphs agree regardless of input child order.  Plain
+    # cotrees never reach this branch: their key stays byte-identical to
+    # the pre-MD format.
+    primes = flat.prime_nodes
+    parts = []
+    for u in primes[np.argsort(pre[primes])]:
+        cs = flat.children_of(u)
+        rank = np.empty(len(cs), dtype=np.int64)
+        rank[np.argsort(minv[cs], kind="stable")] = np.arange(
+            len(cs), dtype=np.int64)
+        eu, ev = flat.quotient_of(u)
+        a = rank[eu]
+        b = rank[ev]
+        enc = np.minimum(a, b) * len(cs) + np.maximum(a, b)
+        parts.append(np.int64(len(cs)).tobytes()
+                     + np.sort(enc).astype(np.int64).tobytes())
+    return key + ("prime", b"".join(parts))

@@ -142,6 +142,10 @@ def pack(trees: Sequence) -> FlatForest:
     """
     flats = [t if type(t) is FlatCotree else as_flat_cotree(t)
              for t in trees]
+    for i, f in enumerate(flats):
+        if f.has_primes:
+            raise ValueError(f"instance {i}: modular decomposition trees "
+                             f"with prime nodes cannot be forest-packed")
     k = len(flats)
     num_nodes = np.fromiter((len(f.kind) for f in flats), np.int64, count=k)
     num_edges = np.fromiter((len(f.child_index) for f in flats),

@@ -35,6 +35,7 @@ __all__ = [
     "random_cotree",
     "random_binary_cotree_spec",
     "random_cograph_edges",
+    "random_p4_sparse",
 ]
 
 
@@ -214,3 +215,57 @@ def random_cograph_edges(n: int, seed: Optional[int] = None,
     adj = tree.adjacency_sets()
     edges = [(u, v) for u, nbrs in adj.items() for v in nbrs if u < v]
     return tree, sorted(edges)
+
+
+def random_p4_sparse(n: int, seed: Optional[int] = None,
+                     spider_prob: float = 0.5):
+    """A random connected-or-not **P4-sparse** graph on ``n`` vertices.
+
+    Built by the structure theorem (Jamison & Olariu): a P4-sparse graph is
+    a single vertex, a disjoint union or join of two P4-sparse graphs, or a
+    spider ``(S, K, R)`` whose head ``R`` is P4-sparse.  At each recursive
+    step a spider is emitted with probability ``spider_prob`` (when enough
+    vertices remain), so the resulting modular decomposition trees mix
+    union/join nodes with thin and thick spider primes.  Returns a
+    :class:`~repro.cograph.graph.Graph`; most draws are *not* cographs.
+    """
+    from .graph import Graph
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    edges: List[tuple] = []
+
+    def build(vs: List[int]) -> None:
+        m = len(vs)
+        if m == 1:
+            return
+        if m >= 4 and rng.random() < spider_prob:
+            # spider (S, K, R): |S| = |K| = k >= 2, R may be empty
+            k = int(rng.integers(2, m // 2 + 1))
+            thin = bool(rng.random() < 0.5) or k < 3
+            order = [vs[i] for i in rng.permutation(m)]
+            feet, body = order[:k], order[k:2 * k]
+            head = order[2 * k:]
+            for i in range(k):                      # body clique
+                for j in range(i + 1, k):
+                    edges.append((body[i], body[j]))
+            for i in range(k):                      # feet attachment
+                if thin:
+                    edges.append((feet[i], body[i]))
+                else:
+                    edges.extend((feet[i], body[j])
+                                 for j in range(k) if j != i)
+            for b in body:                          # head sees the body
+                edges.extend((b, r) for r in head)
+            if head:
+                build(head)
+            return
+        split = int(rng.integers(1, m))
+        lo, hi = vs[:split], vs[split:]
+        if rng.random() < 0.5:                      # join of the two halves
+            edges.extend((u, v) for u in lo for v in hi)
+        build(lo)
+        build(hi)
+
+    build(list(range(n)))
+    return Graph(n, edges)

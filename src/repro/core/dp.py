@@ -46,24 +46,35 @@ import numpy as np
 from .._dfs import depth_by_doubling as _depth_by_doubling
 from ..backends import ExecutionContext, resolve_context
 from ..cograph import FlatCotree, as_flat_cotree
-from ..cograph.cotree import JOIN, LEAF, UNION
+from ..cograph.cotree import JOIN, LEAF, PRIME, UNION
+from ..cograph.md import SPIDER_THIN
 
 __all__ = [
     "Combine",
+    "PrimeCombine",
     "CotreeDP",
     "CotreeDPRun",
     "run_cotree_dp",
     "run_cotree_dp_sequential",
     "selected_subtree_vertices",
     "class_assignment",
+    "MAX_GENERIC_PRIME",
     "PATH_COVER_SIZE_DP",
     "MAX_CLIQUE_DP",
     "MAX_INDEPENDENT_SET_DP",
     "CHROMATIC_NUMBER_DP",
     "CLIQUE_COVER_DP",
     "COUNT_INDEPENDENT_SETS_DP",
+    "max_weight_independent_set_dp",
+    "max_weight_clique_dp",
     "BUILTIN_DPS",
 ]
+
+#: arity cap of the generic (non-spider) prime combine: the brute force
+#: enumerates ``2**arity`` child subsets, so it is exact and fast up to
+#: here and refused beyond (P4-sparse inputs never hit it — their primes
+#: are all spider-flagged and run closed-form).
+MAX_GENERIC_PRIME: int = 16
 
 #: the associative reduction operators a :class:`Combine` may name.
 _REDUCE_UFUNCS: Dict[str, np.ufunc] = {
@@ -111,6 +122,43 @@ class Combine:
 
 
 @dataclass(frozen=True)
+class PrimeCombine:
+    """How :data:`~repro.cograph.cotree.PRIME` nodes combine their children.
+
+    A prime node's children are the maximal strong modules of a modular
+    decomposition tree; its packed quotient edges say which child pairs are
+    fully joined.  For the extremal single-field DPs this module ships, the
+    node value is::
+
+        max over subsets X of children, X independent (select =
+        "independent") or a clique (select = "clique") in the quotient,
+        of  sum(value[c] for c in X)
+
+    which is exact for max-(weight-)independent-set (an IS picks an
+    independent set of modules and an IS inside each) and dually for
+    max-(weight-)clique.  Child values must be **non-negative** (true for
+    the built-in specs: weights are validated ``>= 0``), so supersets never
+    hurt and the closed forms below are tight.
+
+    Execution: spider-flagged primes (the P4-sparse case) evaluate a
+    closed form over the ``[s_1..s_k, k_1..k_k, (r)]`` child layout —
+    ``O(k)`` work, vectorized across all spiders of a level; generic primes
+    run a vectorized bitmask brute force over all ``2**arity`` subsets,
+    batched per arity across the level, refused above
+    :data:`MAX_GENERIC_PRIME` children.  The winning subset (smallest
+    encoding on ties, identically on every backend) is recorded in
+    ``CotreeDPRun.prime_choice`` for the witness pass.
+    """
+
+    select: str
+
+    def __post_init__(self) -> None:
+        if self.select not in ("independent", "clique"):
+            raise ValueError(f"PrimeCombine select must be 'independent' or "
+                             f"'clique', got {self.select!r}")
+
+
+@dataclass(frozen=True)
 class CotreeDP:
     """A declarative bottom-up DP over cotrees.
 
@@ -125,6 +173,11 @@ class CotreeDP:
         vectorized over all leaves at once.
     union / join:
         the :class:`Combine` rule of 0-nodes / 1-nodes.
+    prime:
+        optional :class:`PrimeCombine` rule for prime nodes of modular
+        decomposition trees.  Specs without one are cograph-only: the
+        engine raises when such a spec meets a prime node.  Requires a
+        single-field spec.
     dtype:
         NumPy dtype of every field array (``object`` for unbounded
         integers, e.g. counting DPs).
@@ -141,6 +194,12 @@ class CotreeDP:
     join: Combine
     dtype: Any = np.int64
     witness: Optional[Callable[["CotreeDPRun"], Any]] = None
+    prime: Optional[PrimeCombine] = None
+
+    def __post_init__(self) -> None:
+        if self.prime is not None and len(self.fields) != 1:
+            raise ValueError(f"cotree DP {self.name!r}: the prime combine "
+                             f"supports single-field specs only")
 
 
 @dataclass
@@ -153,6 +212,10 @@ class CotreeDPRun:
     depth: np.ndarray
     ctx: Optional[ExecutionContext] = None
     backend: str = "fast"
+    #: per-node winning selection of prime nodes (``None`` on prime-free
+    #: trees): the best subset's bitmask for generic primes, ``-1`` (base
+    #: option) or the winning pair index for spider primes.
+    prime_choice: Optional[np.ndarray] = None
 
     def root(self, field_name: Optional[str] = None):
         """The DP value at the root (first declared field by default)."""
@@ -249,6 +312,176 @@ def _combine_level(ctx: ExecutionContext, dp: CotreeDP, flat: FlatCotree,
             values[f][nodes] = reduced[f]
 
 
+_NEG = np.int64(-(2 ** 62))     # "impossible" sentinel below any real score
+
+
+def _check_prime_support(dp: CotreeDP, flat) -> Optional[np.ndarray]:
+    """``None`` for prime-free trees, else the choice array to fill —
+    raising when the spec cannot run on modular decomposition trees."""
+    if not getattr(flat, "has_primes", False):
+        return None
+    if dp.prime is None:
+        raise ValueError(
+            f"cotree DP {dp.name!r} has no prime combine: it is exact on "
+            f"cographs only, but the input is a modular decomposition tree "
+            f"with prime nodes")
+    return np.full(flat.num_nodes, -2, dtype=np.int64)
+
+
+def _prime_values(flat: FlatCotree, value: np.ndarray, nodes: np.ndarray,
+                  select: str, ctx: Optional[ExecutionContext],
+                  label: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Values and winning choices of the prime nodes in ``nodes``.
+
+    One shared implementation for the level-vectorized runner, the PRAM
+    runner (``ctx`` accounts the steps) and the sequential reference
+    (``ctx=None``), so all three are bit-identical by construction.
+    """
+    from contextlib import nullcontext
+
+    def step(active: int, tag: str):
+        return nullcontext() if ctx is None else \
+            ctx.step(active=active, label=f"{label}:{tag}")
+
+    out_val = np.empty(len(nodes), dtype=np.int64)
+    out_choice = np.empty(len(nodes), dtype=np.int64)
+    spider_flag = flat.spider[nodes]
+    sp = np.flatnonzero(spider_flag > 0)
+    ge = np.flatnonzero(spider_flag == 0)
+
+    if len(sp):
+        v, c = _spider_prime_values(flat, value, nodes[sp], select, ctx,
+                                    step)
+        out_val[sp] = v
+        out_choice[sp] = c
+    if len(ge):
+        v, c = _generic_prime_values(flat, value, nodes[ge], select, step)
+        out_val[ge] = v
+        out_choice[ge] = c
+    return out_val, out_choice
+
+
+def _spider_prime_values(flat: FlatCotree, value: np.ndarray,
+                         nodes: np.ndarray, select: str,
+                         ctx: Optional[ExecutionContext],
+                         step) -> Tuple[np.ndarray, np.ndarray]:
+    """Closed-form spider combine, vectorized across all spiders of a level.
+
+    Children are laid out ``[s_1..s_k, k_1..k_k, (r)]``.  With non-negative
+    child values the optimum is either the *base* option (choice ``-1``:
+    all feet plus the head for ``independent``, the whole body plus the
+    head for ``clique``) or one *pair* option ``i`` (swap foot/body ``i``
+    in or out).  Ties prefer the base option, then the smallest pair.
+    """
+    rctx = ctx if ctx is not None else resolve_context(None)
+    child_nodes, seg = _gather_level_children(flat, nodes)
+    counts = np.diff(seg)
+    k = counts // 2
+    has_head = (counts % 2) == 1
+    cv = value[child_nodes].astype(np.int64, copy=False)
+    with step(len(child_nodes), "spider-classify"):
+        local = (np.arange(len(child_nodes), dtype=np.int64)
+                 - np.repeat(seg[:-1], counts))
+        kk = np.repeat(k, counts)
+        is_foot = local < kk
+        is_body = ~is_foot & (local < 2 * kk)
+        thin = flat.spider[nodes] == SPIDER_THIN
+        thin_c = np.repeat(thin, counts)
+    rv = np.zeros(len(nodes), dtype=np.int64)
+    rv[has_head] = cv[seg[1:][has_head] - 1]
+    sum_s = _segmented_reduce(rctx, np.where(is_foot, cv, 0), seg, "sum",
+                              "spider-sumS")
+    sum_k = _segmented_reduce(rctx, np.where(is_body, cv, 0), seg, "sum",
+                              "spider-sumK")
+    with step(len(child_nodes), "spider-pair-terms"):
+        # per body slot: the pair option's variable term (foot at pos - k)
+        foot_v = np.zeros_like(cv)
+        bpos = np.flatnonzero(is_body)
+        foot_v[bpos] = cv[bpos - kk[bpos]]
+        if select == "independent":
+            term = np.where(thin_c, cv - foot_v, cv + foot_v)
+        else:
+            term = np.where(thin_c, cv + foot_v, foot_v - cv)
+        # packed segmented argmax over body slots only (smallest pair wins
+        # ties; M > every local slot keeps the packing monotone in term)
+        m_pack = np.int64(int(counts.max()) + 1) if len(counts) else \
+            np.int64(1)
+        packed = np.where(is_body, term * m_pack + (m_pack - 1 - local),
+                          _NEG)
+    best_packed = _segmented_reduce(rctx, packed, seg, "max", "spider-pair")
+    with step(len(nodes), "spider-finish"):
+        slot = m_pack - 1 - best_packed % m_pack
+        pair_term = (best_packed - (m_pack - 1 - slot)) // m_pack
+        pair_i = slot - k                     # body slot -> pair index
+        if select == "independent":
+            base = sum_s + rv
+            pair_total = np.where(thin, sum_s + pair_term, pair_term)
+        else:
+            base = sum_k + rv
+            pair_total = np.where(thin, pair_term, sum_k + pair_term)
+        have_pair = best_packed > _NEG
+        pair_total = np.where(have_pair, pair_total, _NEG)
+        out_val = np.maximum(base, pair_total)
+        out_choice = np.where(base >= pair_total, np.int64(-1), pair_i)
+    return out_val, out_choice
+
+
+def _generic_prime_values(flat: FlatCotree, value: np.ndarray,
+                          nodes: np.ndarray, select: str,
+                          step) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact bitmask brute force over each prime's quotient, batched by
+    arity: one ``(primes, 2**m)`` score table per arity group, one
+    ``argmax`` (first maximum = smallest subset mask on ties)."""
+    counts = (flat.child_offset[nodes + 1] - flat.child_offset[nodes])
+    out_val = np.empty(len(nodes), dtype=np.int64)
+    out_choice = np.empty(len(nodes), dtype=np.int64)
+    too_big = counts > MAX_GENERIC_PRIME
+    if too_big.any():
+        u = int(nodes[too_big][0])
+        raise ValueError(
+            f"prime node {u} has {int(counts[too_big][0])} children; the "
+            f"generic prime combine enumerates child subsets and is capped "
+            f"at {MAX_GENERIC_PRIME} (spider primes have no cap)")
+    for m in np.unique(counts).tolist():
+        grp = np.flatnonzero(counts == m)
+        gn = nodes[grp]
+        p = len(gn)
+        # per-slot neighbour bitmasks of every quotient in the group
+        adj = np.zeros((p, m), dtype=np.int64)
+        starts = flat.q_offset[gn]
+        widths = flat.q_offset[gn + 1] - starts
+        rows = np.repeat(np.arange(p, dtype=np.int64), widths)
+        pos = (np.arange(int(widths.sum()), dtype=np.int64)
+               - np.repeat(np.cumsum(widths) - widths, widths)
+               + np.repeat(starts, widths))
+        eu = flat.q_edge_u[pos]
+        ev = flat.q_edge_v[pos]
+        np.bitwise_or.at(adj, (rows, eu), np.int64(1) << ev)
+        np.bitwise_or.at(adj, (rows, ev), np.int64(1) << eu)
+        if select == "clique":
+            full = np.int64((1 << m) - 1)
+            adj = ~adj & (full ^ (np.int64(1) << np.arange(m)))
+        masks = np.arange(1 << m, dtype=np.int64)
+        child = flat.child_index[
+            (flat.child_offset[gn][:, None]
+             + np.arange(m, dtype=np.int64)[None, :])]
+        vals = value[child].astype(np.int64, copy=False)
+        with step(p * (1 << m) * m, "prime-bruteforce"):
+            bits = ((masks[None, :] >> np.arange(m)[:, None]) & 1) \
+                .astype(np.int64)                       # (m, 2**m)
+            sums = vals @ bits                          # (p, 2**m)
+            bad = np.zeros((p, 1 << m), dtype=bool)
+            for i in range(m):
+                has_i = (masks >> i) & 1
+                bad |= (has_i[None, :] != 0) & \
+                    ((adj[:, i:i + 1] & masks[None, :]) != 0)
+            score = np.where(bad, np.int64(-1), sums)
+            best = np.argmax(score, axis=1)
+            out_val[grp] = score[np.arange(p), best]
+            out_choice[grp] = masks[best]
+    return out_val, out_choice
+
+
 def run_cotree_dp(dp: CotreeDP, tree, ctx=None, *,
                   label: Optional[str] = None) -> CotreeDPRun:
     """Execute a :class:`CotreeDP` bottom-up, level by level.
@@ -289,6 +522,7 @@ def run_cotree_dp(dp: CotreeDP, tree, ctx=None, *,
         for f in dp.fields:
             values[f][leaves] = leaf_values[f]
 
+    prime_choice = _check_prime_support(dp, flat)
     depth = _depth_by_doubling(flat.parent)
     internal = flat.internal_nodes
     if len(internal):
@@ -304,8 +538,19 @@ def run_cotree_dp(dp: CotreeDP, tree, ctx=None, *,
                 if len(sel):
                     _combine_level(context, dp, flat, values, sel, combine,
                                    f"{tag}:L{d}")
+            if prime_choice is not None:
+                sel = level_nodes[flat.kind[level_nodes] == PRIME]
+                if len(sel):
+                    vals, choices = _prime_values(
+                        flat, values[dp.fields[0]], sel,
+                        dp.prime.select, context, f"{tag}:L{d}")
+                    with context.step(active=len(sel),
+                                      label=f"{tag}:L{d}:store"):
+                        values[dp.fields[0]][sel] = vals
+                        prime_choice[sel] = choices
     return CotreeDPRun(dp=dp, tree=flat, values=values, depth=depth,
-                       ctx=context, backend=context.name)
+                       ctx=context, backend=context.name,
+                       prime_choice=prime_choice)
 
 
 def run_cotree_dp_sequential(dp: CotreeDP, tree) -> CotreeDPRun:
@@ -326,10 +571,19 @@ def run_cotree_dp_sequential(dp: CotreeDP, tree) -> CotreeDPRun:
     for f in dp.fields:
         values[f][leaves] = leaf_values[f]
 
+    prime_choice = _check_prime_support(dp, flat)
     depth = _depth_by_doubling(flat.parent)
     internal = flat.internal_nodes
     order = internal[np.argsort(-depth[internal], kind="stable")]
     for u in order.tolist():
+        if flat.kind[u] == PRIME:
+            sel = np.asarray([u], dtype=np.int64)
+            vals, choices = _prime_values(flat, values[dp.fields[0]], sel,
+                                          dp.prime.select, None,
+                                          f"dp.{dp.name}")
+            values[dp.fields[0]][u] = vals[0]
+            prime_choice[u] = choices[0]
+            continue
         combine = dp.union if flat.kind[u] == UNION else dp.join
         kids = flat.children_of(u)
         child_values = {f: values[f][kids] for f in dp.fields}
@@ -345,7 +599,8 @@ def run_cotree_dp_sequential(dp: CotreeDP, tree) -> CotreeDPRun:
         for f in dp.fields:
             values[f][u] = reduced[f]
     return CotreeDPRun(dp=dp, tree=flat, values=values, depth=depth,
-                       ctx=None, backend="sequential")
+                       ctx=None, backend="sequential",
+                       prime_choice=prime_choice)
 
 
 # --------------------------------------------------------------------------- #
@@ -406,6 +661,14 @@ def selected_subtree_vertices(run: CotreeDPRun, pick_at: int,
             packed, seg_offsets, "max", f"dp.{run.dp.name}:witness-argmax")
         chosen[pick_nodes] = np.int64(n - 1) - best % np.int64(n)
 
+    has_primes = getattr(flat, "has_primes", False)
+    slot_of = None
+    if has_primes:
+        slot_of = np.full(n, -1, dtype=np.int64)
+        slot_of[flat.child_index] = (
+            np.arange(len(flat.child_index), dtype=np.int64)
+            - np.repeat(flat.child_offset[:-1], np.diff(flat.child_offset)))
+
     selected = np.zeros(n, dtype=bool)
     roots = getattr(flat, "roots", None)
     if roots is None:
@@ -422,10 +685,60 @@ def selected_subtree_vertices(run: CotreeDPRun, pick_at: int,
             parents = flat.parent[child_nodes]
             keep = (flat.kind[parents] != pick_at) | \
                 (chosen[parents] == child_nodes)
+            if has_primes:
+                pk = flat.kind[parents] == PRIME
+                if pk.any():
+                    keep[pk] = _prime_keep(run, child_nodes[pk],
+                                           parents[pk], slot_of)
             selected[child_nodes[keep]] = True
 
     picked_leaves = flat.leaves[selected[flat.leaves]]
     return np.sort(flat.leaf_vertex[picked_leaves])
+
+
+def _prime_keep(run: CotreeDPRun, children: np.ndarray, parents: np.ndarray,
+                slot_of: np.ndarray) -> np.ndarray:
+    """Which children of selected prime nodes join the witness set.
+
+    Decodes ``run.prime_choice``: a subset bitmask for generic primes; for
+    spider primes choice ``-1`` is the base option (all feet + head for
+    ``independent``, body + head for ``clique``) and choice ``i`` the pair
+    option (see :func:`_spider_prime_values`).
+    """
+    flat = run.tree
+    if run.prime_choice is None:  # pragma: no cover - engine always records
+        raise ValueError("witness on a primed tree needs a DP run with "
+                         "recorded prime choices")
+    choice = run.prime_choice[parents]
+    slot = slot_of[children]
+    spider = flat.spider[parents]
+    k = (flat.child_offset[parents + 1] - flat.child_offset[parents]) // 2
+    keep = np.zeros(len(children), dtype=bool)
+
+    generic = spider == 0
+    keep[generic] = ((choice[generic] >> slot[generic]) & 1).astype(bool)
+
+    sp = ~generic
+    if sp.any():
+        thin = spider == SPIDER_THIN
+        base = choice == -1
+        is_foot = slot < k
+        is_body = ~is_foot & (slot < 2 * k)
+        is_head = slot == 2 * k
+        if run.dp.prime.select == "independent":
+            base_keep = is_foot | is_head
+            pair_keep = np.where(
+                thin,
+                (is_foot & (slot != choice)) | (slot == k + choice),
+                (slot == choice) | (slot == k + choice))
+        else:
+            base_keep = is_body | is_head
+            pair_keep = np.where(
+                thin,
+                (slot == choice) | (slot == k + choice),
+                (is_body & (slot != k + choice)) | (slot == choice))
+        keep[sp] = np.where(base, base_keep, pair_keep)[sp]
+    return keep
 
 
 def class_assignment(run: CotreeDPRun, accumulate_at: int,
@@ -447,6 +760,9 @@ def class_assignment(run: CotreeDPRun, accumulate_at: int,
     flat = run.tree
     n = flat.num_nodes
     value = run.values[field_name]
+    if getattr(flat, "has_primes", False):
+        raise ValueError(f"dp.{run.dp.name}: class-assignment witnesses "
+                         f"have no prime-node rule; cograph inputs only")
 
     # exclusive prefix of sibling values, per child slot of the CSR array
     sib_prefix = np.zeros(len(flat.child_index), dtype=np.int64)
@@ -511,26 +827,68 @@ PATH_COVER_SIZE_DP = CotreeDP(
     ),
 )
 
-#: omega: a clique lives inside one part of a union (max) and spans every
-#: part of a join (sum).
+#: omega: a clique lives inside one part of a union (max), spans every
+#: part of a join (sum), and picks a quotient clique at a prime node.
 MAX_CLIQUE_DP = CotreeDP(
     name="max_clique",
     fields=("omega",),
     leaf=_ones_leaf(("omega",)),
     union=Combine(reduce=(("omega", "max", "omega"),)),
     join=Combine(reduce=(("omega", "sum", "omega"),)),
+    prime=PrimeCombine(select="clique"),
     witness=lambda run: selected_subtree_vertices(run, UNION, "omega"),
 )
 
-#: alpha: dual of omega — sum across union parts, max across join parts.
+#: alpha: dual of omega — sum across union parts, max across join parts,
+#: a quotient independent set at a prime node.
 MAX_INDEPENDENT_SET_DP = CotreeDP(
     name="max_independent_set",
     fields=("alpha",),
     leaf=_ones_leaf(("alpha",)),
     union=Combine(reduce=(("alpha", "sum", "alpha"),)),
     join=Combine(reduce=(("alpha", "max", "alpha"),)),
+    prime=PrimeCombine(select="independent"),
     witness=lambda run: selected_subtree_vertices(run, JOIN, "alpha"),
 )
+
+
+def _weight_leaf(weights: np.ndarray, field: str):
+    w = np.ascontiguousarray(np.asarray(weights, dtype=np.int64))
+
+    def leaf(vertex_ids: np.ndarray) -> Dict[str, np.ndarray]:
+        return {field: w[vertex_ids]}
+    return leaf
+
+
+def max_weight_independent_set_dp(weights) -> CotreeDP:
+    """Spec factory: maximum-weight independent set with per-vertex integer
+    weights (``weights[v]`` for leaf vertex ``v``, validated non-negative
+    by the task layer).  Same combine shape as the unit-weight spec — only
+    the leaf initialiser changes — so it runs on modular decomposition
+    trees too."""
+    return CotreeDP(
+        name="max_weight_independent_set",
+        fields=("alpha",),
+        leaf=_weight_leaf(weights, "alpha"),
+        union=Combine(reduce=(("alpha", "sum", "alpha"),)),
+        join=Combine(reduce=(("alpha", "max", "alpha"),)),
+        prime=PrimeCombine(select="independent"),
+        witness=lambda run: selected_subtree_vertices(run, JOIN, "alpha"),
+    )
+
+
+def max_weight_clique_dp(weights) -> CotreeDP:
+    """Spec factory: maximum-weight clique (dual of
+    :func:`max_weight_independent_set_dp`)."""
+    return CotreeDP(
+        name="max_weight_clique",
+        fields=("omega",),
+        leaf=_weight_leaf(weights, "omega"),
+        union=Combine(reduce=(("omega", "max", "omega"),)),
+        join=Combine(reduce=(("omega", "sum", "omega"),)),
+        prime=PrimeCombine(select="clique"),
+        witness=lambda run: selected_subtree_vertices(run, UNION, "omega"),
+    )
 
 #: chi: cographs are perfect, and the cotree shows it constructively —
 #: union parts can reuse colours (max), join parts need disjoint palettes

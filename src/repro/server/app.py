@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..api import SolutionCache, SolveOptions, solve, solve_many, task_names
+from ..api.registry import TASKS
 from ..api.solution import Solution
 from ..api.solve import _from_cache
 from ..core.batch import WorkerPool
@@ -248,10 +249,18 @@ class ServerApp:
     # ------------------------------------------------------------------ #
 
     def _healthz_body(self) -> Dict[str, Any]:
+        # one entry per registered task: the per-task capability surface
+        # (input kind, exactly-solved graph classes, weight support) comes
+        # straight from the registry, so out-of-tree tasks report too
+        tasks = {name: {"input_kind": TASKS[name].input_kind,
+                        "graph_classes": list(TASKS[name].graph_classes),
+                        "uses_weights": TASKS[name].uses_weights,
+                        "summary": TASKS[name].summary}
+                 for name in task_names()}
         return {
             "status": "draining" if self._draining else "ok",
             "version": __version__,
-            "tasks": list(task_names()),
+            "tasks": tasks,
             "jobs": self.pool.jobs,
             "queue": {"limit": self.settings.queue_limit,
                       "admitted": self._admitted,

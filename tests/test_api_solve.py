@@ -37,7 +37,8 @@ BACKENDS = ("pram", "fast")
 ALL_TASKS = ("path_cover", "path_cover_size", "hamiltonian_path",
              "hamiltonian_cycle", "recognition", "lower_bound",
              "max_clique", "max_independent_set", "chromatic_number",
-             "clique_cover", "count_independent_sets")
+             "clique_cover", "count_independent_sets",
+             "max_weight_clique", "max_weight_independent_set")
 
 
 # --------------------------------------------------------------------------- #
