@@ -1,4 +1,4 @@
-"""E11 + E12 + E13 + E15 — wall-clock profiles of the flat-array hot path.
+"""E11 + E12 + E13 + E15 + E16 — wall-clock profiles of the hot paths.
 
 Every future PR needs a trajectory to compare against: this harness runs
 
@@ -21,10 +21,16 @@ Every future PR needs a trajectory to compare against: this harness runs
   capability) and on P4-sparse modular decomposition trees (the new
   capability itself, budgeted like every other task),
 
+* **E16** — resilience overhead (PR 9): the same healthy (fault-free)
+  stream of thousands of tiny instances through the self-healing loop
+  (the default ``RetryPolicy()``) and through the legacy fail-fast loop
+  (``RetryPolicy.off()``), on the same warm pool; the healing loop must
+  cost at most **1.05x** (< 5% overhead) of fail-fast,
+
 and writes everything as machine-readable JSON
-(``benchmarks/results/BENCH_PR8.json``) next to the human-readable
-``benchmarks/results/E11.md`` / ``E12.md`` / ``E13.md`` / ``E15.md``
-tables.
+(``benchmarks/results/BENCH_PR9.json``) next to the human-readable
+``benchmarks/results/E11.md`` / ``E12.md`` / ``E13.md`` / ``E15.md`` /
+``E16.md`` tables.
 
 The JSON also stores a *calibration* measurement (a fixed NumPy workload),
 so a later run on a different machine can scale the baseline before
@@ -39,7 +45,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_profile.py            # full run
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_profile.py --smoke \
-        --check benchmarks/results/BENCH_PR8.json                # regression
+        --check benchmarks/results/BENCH_PR9.json                # regression
 """
 
 import argparse
@@ -53,7 +59,10 @@ import numpy as np
 
 from repro._version import __version__
 from repro.api import SolveOptions, solve, solve_forest, solve_many
+from repro.api.solve import _solve_one_payload
 from repro.cograph import FlatCotree, md_tree, random_cotree, random_p4_sparse
+from repro.core import RetryPolicy, WorkerPool
+from repro.core.batch import stream_out
 from repro.core.pipeline import Pipeline
 
 from _util import RESULTS_DIR, write_result_table
@@ -114,13 +123,26 @@ SMOKE_MD_GRID = [
 E15_FACTOR = 1.1
 E15_TOP_N = 100_000
 
+#: the E16 resilience-overhead grid: (instances, n_max, chunksize, repeats).
+#: Tiny instances + a warm 2-worker pool make the per-item engine overhead
+#: (entry tracking, settle pass) the dominant term — exactly what the
+#: healing loop must not tax.
+FULL_E16_GRID = (3_000, 60, 32, 3)
+SMOKE_E16_GRID = (800, 48, 32, 2)
+#: the E16 headline bound: healing loop <= 1.05x fail-fast on the healthy
+#: path (the --check gate allows the baseline's own overhead + 0.05, so a
+#: noisy baseline cannot make healthy runs fail).
+E16_FACTOR = 1.05
+
 SEED = 7
-DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR8.json")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_PR9.json")
 COLUMNS = ["backend", "n", "input", "total_s"] + list(
     Pipeline.default().stages)
 DP_COLUMNS = ["backend", "n"] + list(DP_TASKS)
 E13_COLUMNS = ["task", "instances", "max_n", "batch_s", "forest_s", "ratio"]
 MD_COLUMNS = ["family", "backend", "n", "md_build_s"] + list(MD_TASKS)
+E16_COLUMNS = ["instances", "max_n", "chunksize", "fail_fast_s",
+               "healing_s", "overhead"]
 
 
 def calibrate() -> float:
@@ -311,6 +333,85 @@ def run_md_grid(grid):
     return results
 
 
+def profile_e16(instances: int, n_max: int, chunksize: int, repeats: int):
+    """Best-of-``repeats`` seconds for the healthy-path resilience overhead.
+
+    Streams the same pinned tiny instances through :func:`stream_out`
+    twice per repeat on the same warm pool — once with healing off
+    (``RetryPolicy.off()``, the legacy ``_pump_fast`` loop) and once with
+    the default healing policy (the ``_pump`` loop) — and reports the
+    ratio.  No fault is armed: this measures what the retry plumbing
+    costs when nothing goes wrong.  Answers are cross-checked between the
+    two loops every repeat.
+    """
+    trees = _e13_instances(instances, n_max)
+    opts = SolveOptions(backend="fast")
+    payloads = [(i, tree, "path_cover_size", opts)
+                for i, tree in enumerate(trees)]
+
+    def run(policy):
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            out = list(stream_out(_solve_one_payload, payloads, pool=pool,
+                                  chunksize=chunksize, retry=policy))
+            return time.perf_counter() - t0, [s.answer for s in out]
+        finally:
+            gc.enable()
+
+    fast_best = heal_best = float("inf")
+    with WorkerPool(2) as pool:
+        pool.warm_up()
+        run(RetryPolicy.off())           # one warm-up pass, untimed
+        for _ in range(repeats):
+            # interleaved so machine drift hits both loops alike
+            sec, fast_answers = run(RetryPolicy.off())
+            fast_best = min(fast_best, sec)
+            sec, heal_answers = run(RetryPolicy())
+            heal_best = min(heal_best, sec)
+            if heal_answers != fast_answers:
+                raise AssertionError(
+                    "E16: healing loop answers diverge from fail-fast")
+    overhead = heal_best / max(fast_best, 1e-9)
+    return {"instances": instances, "max_n": n_max, "chunksize": chunksize,
+            "repeats": repeats, "fail_fast_seconds": round(fast_best, 6),
+            "healing_seconds": round(heal_best, 6),
+            "overhead": round(overhead, 4)}
+
+
+def run_e16(grid):
+    instances, n_max, chunksize, repeats = grid
+    row = profile_e16(instances, n_max, chunksize, repeats)
+    print(f"  e16 {instances} x n<={n_max} chunk={chunksize}: "
+          f"fail-fast={row['fail_fast_seconds']:.3f}s "
+          f"healing={row['healing_seconds']:.3f}s "
+          f"overhead={row['overhead']:.3f}x", flush=True)
+    return [row]
+
+
+def check_e16_bound(payload: dict, baseline: dict) -> list:
+    """E16 acceptance: the healing loop's healthy-path overhead must stay
+    within ``max(E16_FACTOR, baseline overhead + 0.05)`` — an absolute 5%
+    budget, relaxed only by what the baseline machine itself measured (a
+    ratio of two same-machine timings needs no calibration scaling)."""
+    base_rows = {(r["instances"], r["chunksize"]): r
+                 for r in baseline.get("e16_results", [])}
+    failures = []
+    for row in payload.get("e16_results", []):
+        ref = base_rows.get((row["instances"], row["chunksize"]))
+        allowed = E16_FACTOR
+        if ref is not None:
+            allowed = max(allowed, ref["overhead"] + 0.05)
+        if row["overhead"] > allowed:
+            failures.append(
+                f"E16 healthy-path overhead {row['overhead']:.3f}x > "
+                f"allowed {allowed:.3f}x (healing "
+                f"{row['healing_seconds']:.3f}s vs fail-fast "
+                f"{row['fail_fast_seconds']:.3f}s)")
+    return failures
+
+
 def check_e15_bound(payload: dict, baseline: dict) -> list:
     """E15 acceptance: the MD-routed unweighted tasks on *cograph* inputs at
     the top fast grid point (n = 100k) must stay within ``E15_FACTOR`` (1.1x)
@@ -442,6 +543,8 @@ def check_against(base: dict, current: dict, factor: float) -> int:
                     f"{factor:.1f} x {budget:.4f}s")
     failures += check_e12_bound(current, base, factor)
     failures += check_e15_bound(current, base)
+    failures += check_e16_bound(current, base)
+    compared += len(current.get("e16_results", []))
     e13_failures = check_e13_bound(current, base, factor)
     compared += sum(1 for row in current.get("e13_results", [])
                     if row["task"] in {r["task"]
@@ -497,12 +600,13 @@ def main(argv=None) -> int:
     dp_grid = SMOKE_DP_GRID if args.smoke else FULL_DP_GRID
     e13_grid = SMOKE_E13_GRID if args.smoke else FULL_E13_GRID
     md_grid = SMOKE_MD_GRID if args.smoke else FULL_MD_GRID
+    e16_grid = SMOKE_E16_GRID if args.smoke else FULL_E16_GRID
     label = "smoke" if args.smoke else "full"
     print(f"[E11] per-stage profile ({label}):")
     t0 = time.perf_counter()
     payload = {
-        "schema": 4,
-        "experiment": "E11+E12+E13+E15",
+        "schema": 5,
+        "experiment": "E11+E12+E13+E15+E16",
         "version": __version__,
         "seed": SEED,
         "smoke": bool(args.smoke),
@@ -515,6 +619,8 @@ def main(argv=None) -> int:
     payload["e13_results"] = run_e13_grid(e13_grid)
     print(f"[E15] MD-capable tasks on cograph + P4-sparse inputs ({label}):")
     payload["md_results"] = run_md_grid(md_grid)
+    print(f"[E16] healthy-path resilience overhead ({label}):")
+    payload["e16_results"] = run_e16(e16_grid)
     payload["harness_seconds"] = round(time.perf_counter() - t0, 3)
 
     os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
@@ -562,6 +668,18 @@ def main(argv=None) -> int:
                            "on cograph and P4-sparse inputs (seconds, best "
                            "of repeats; md_build_s = one-off md_tree cost "
                            "for the P4-sparse family)", md_rows, MD_COLUMNS)
+        e16_rows = [{"instances": r["instances"], "max_n": r["max_n"],
+                     "chunksize": r["chunksize"],
+                     "fail_fast_s": round(r["fail_fast_seconds"], 4),
+                     "healing_s": round(r["healing_seconds"], 4),
+                     "overhead": f"{r['overhead']:.3f}x"}
+                    for r in payload["e16_results"]]
+        write_result_table("E16", "healthy-path resilience overhead: the "
+                           "self-healing stream loop (default RetryPolicy) "
+                           "vs the legacy fail-fast loop "
+                           "(RetryPolicy.off()) on the same warm 2-worker "
+                           "pool, no fault armed (seconds, best of "
+                           "repeats)", e16_rows, E16_COLUMNS)
 
     # E13 acceptance target: the full run must show >= 10x on every task
     # (the smoke run is gated relative to the stored baseline instead).
@@ -585,8 +703,10 @@ def main(argv=None) -> int:
     # on the same machine, same instant)
     failures = check_e12_bound(payload, payload, args.factor)
     failures += check_e15_bound(payload, payload)
+    # E16 against an empty baseline = the absolute 1.05x budget
+    failures += check_e16_bound(payload, {})
     if failures:
-        print("E12/E15 bound FAILED:")
+        print("E12/E15/E16 bound FAILED:")
         for f in failures:
             print("  " + f)
         return 1
@@ -594,6 +714,8 @@ def main(argv=None) -> int:
           f"pipeline total at every fast point")
     print(f"E15 bound OK: MD-routed cograph tasks within {E15_FACTOR:.1f}x "
           f"of the E12 budgets at n={E15_TOP_N}")
+    print(f"E16 bound OK: healthy-path healing overhead within "
+          f"{E16_FACTOR:.2f}x of fail-fast")
     return rc
 
 

@@ -118,10 +118,24 @@ def _build_parser() -> argparse.ArgumentParser:
                           "vertices in vectorized forest batches instead "
                           "of the worker pool")
     run.add_argument("--on-error", default="fail", choices=("fail", "emit"),
-                     help="for --stream: on a malformed input line, 'fail' "
-                          "(default) stops with an error after the valid "
-                          "prefix; 'emit' writes a structured "
-                          '{"error": ..., "line": N} record and continues')
+                     help="for --stream: on a malformed input line or an "
+                          "instance whose worker retries are exhausted, "
+                          "'fail' (default) stops with an error after the "
+                          "valid prefix; 'emit' writes a structured "
+                          '{"error": ...} record in that slot and continues')
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="for --stream: per-instance re-runs after a "
+                          "worker crash or MemoryError before the instance "
+                          "is quarantined (default: 3)")
+    run.add_argument("--retry-backoff", type=float, default=None,
+                     metavar="SECONDS",
+                     help="for --stream: base of the capped exponential "
+                          "backoff between crash retries (default: 0.05)")
+    run.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="for --stream: per-instance wall-clock budget; "
+                          "an instance past it degrades to a structured "
+                          "deadline error instead of stalling the stream")
 
     server = sub.add_parser(
         "serve", help="run the HTTP/JSON service (repro.server)",
@@ -146,6 +160,23 @@ def _build_parser() -> argparse.ArgumentParser:
     server.add_argument("--request-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-request solve budget before a 504")
+    server.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-runs of a request whose worker process "
+                             "died before answering a structured 500 "
+                             "(default 2)")
+    server.add_argument("--retry-backoff", type=float, default=None,
+                        metavar="SECONDS",
+                        help="base backoff between worker-crash retries "
+                             "(default 0.05)")
+    server.add_argument("--breaker-threshold", type=int, default=None,
+                        metavar="N",
+                        help="consecutive solve failures that open the "
+                             "circuit breaker (503 + Retry-After); "
+                             "0 disables (default 5)")
+    server.add_argument("--breaker-cooldown", type=float, default=None,
+                        metavar="SECONDS",
+                        help="seconds an open breaker waits before a "
+                             "half-open probe (default 5)")
     server.add_argument("--log-format", default=None,
                         choices=("kv", "json"),
                         help="structured log shape (default kv)")
@@ -259,12 +290,24 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if args.input is not None:
             raise ValueError("--stream reads problems from stdin; drop the "
                              "INPUT argument")
+        retry = None
+        if args.retries is not None or args.retry_backoff is not None \
+                or args.deadline is not None:
+            from .core import RetryPolicy
+            defaults = RetryPolicy()
+            retry = RetryPolicy(
+                max_retries=args.retries if args.retries is not None
+                else defaults.max_retries,
+                base_delay=args.retry_backoff
+                if args.retry_backoff is not None else defaults.base_delay,
+                deadline=args.deadline)
         pending_errors = {}
         stream = solve_stream(
             _iter_jsonl(sys.stdin, args.task, args.on_error, pending_errors),
             args.task, options=options, jobs=args.jobs,
-            window=args.window, chunksize=args.chunksize)
-        count = skipped = 0
+            window=args.window, chunksize=args.chunksize,
+            retry=retry, on_error=args.on_error)
+        count = skipped = failed = 0
 
         def flush_errors(records) -> None:
             nonlocal skipped
@@ -277,6 +320,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             # the previous one go out first, keeping input order
             flush_errors(pending_errors.pop(
                 solution.provenance["batch_index"], ()))
+            if solution.backend == "error":
+                # a quarantined instance (worker crash / deadline /
+                # corruption survived every retry): same record shape as
+                # the malformed-line errors, in the instance's slot
+                print(json.dumps({
+                    "error": solution.provenance.get("error"),
+                    "error_kind": solution.provenance.get("error_kind"),
+                    "attempts": solution.provenance.get("attempts"),
+                    "batch_index": solution.provenance.get("batch_index")}))
+                failed += 1
+                continue
             _print_solution(solution, args.json)
             count += 1
         for index in sorted(pending_errors):    # trailing malformed lines
@@ -284,15 +338,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if cache is not None:
             print(f"cache: {cache.stats()}", file=sys.stderr)
         tail = f", skipped {skipped} malformed line(s)" if skipped else ""
+        if failed:
+            tail += f", quarantined {failed} instance(s)"
         print(f"solved {count} instance(s){tail}", file=sys.stderr)
         return 0
     if args.input is None:
         raise ValueError("INPUT is required unless --stream is given")
     if args.jobs is not None or args.window is not None \
             or args.chunksize != 1 or args.cache is not None \
-            or args.batch_small is not None or args.on_error != "fail":
+            or args.batch_small is not None or args.on_error != "fail" \
+            or args.retries is not None or args.retry_backoff is not None \
+            or args.deadline is not None:
         raise ValueError("--jobs/--window/--chunksize/--cache/--batch-small"
-                         "/--on-error only apply to --stream")
+                         "/--on-error/--retries/--retry-backoff/--deadline "
+                         "only apply to --stream")
     problem = (_parse_bits(args.input, args.task) if _takes_bits(args.task)
                else args.input)
     solution = solve(problem, args.task, options=options)
@@ -321,6 +380,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, jobs=args.jobs,
         queue_limit=args.queue_limit, cache_size=args.cache_size,
         batch_small=args.batch_small, request_timeout=args.request_timeout,
+        retries=args.retries, retry_backoff=args.retry_backoff,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
         log_format=args.log_format, log_level=args.log_level)
     return serve(settings)
 

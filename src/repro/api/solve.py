@@ -32,6 +32,7 @@ from dataclasses import replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.batch import Resolved, WorkerPool, resolve_jobs, stream_out
+from ..core.retry import ErrorOutcome, RetryPolicy, WorkerCrashError
 from .adapters import Problem, as_problem
 from .options import SolveOptions
 from .registry import get_task
@@ -154,12 +155,29 @@ def _solve_one_payload(payload) -> Solution:
     return solution
 
 
+def _error_solution(task: str, options: SolveOptions,
+                    outcome: ErrorOutcome, index: int) -> Solution:
+    """The degraded :class:`Solution` one quarantined stream item yields.
+
+    ``answer`` is ``None`` and ``backend`` is ``"error"``; the structured
+    failure (kind, message, attempt count) travels in ``provenance`` so
+    JSONL consumers can tell a quarantined item from a real answer without
+    a side channel.  Never cached.
+    """
+    return Solution(
+        task=task, answer=None, backend="error", options=options,
+        provenance={"batch_index": index, "route": "pool",
+                    **outcome.to_dict()})
+
+
 def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
                  options: Optional[SolveOptions] = None,
                  jobs: Optional[int] = None,
                  window: Optional[int] = None,
                  chunksize: int = 1,
                  pool: Optional[WorkerPool] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 on_error: str = "fail",
                  **option_fields: Any) -> Iterator[Solution]:
     """Stream solutions for a lazily-consumed iterable of instances.
 
@@ -196,6 +214,19 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
     pool:
         a persistent :class:`~repro.core.WorkerPool`; workers stay warm
         for the next call instead of forking per stream.
+    retry:
+        the :class:`~repro.core.RetryPolicy` for worker-crash recovery
+        (``None`` — the default — heals with ``RetryPolicy()``;
+        ``RetryPolicy.off()`` restores fail-fast ``BrokenProcessPool``).
+        A SIGKILLed worker mid-stream loses zero results: lost in-flight
+        items are re-run on a rebuilt pool and still yield in order.
+    on_error:
+        what a *quarantined* item (retries exhausted, deadline expired,
+        or corrupted worker result) yields: ``"fail"`` (default) raises
+        :class:`~repro.core.WorkerCrashError`; ``"emit"`` degrades to a
+        structured error :class:`Solution` (``backend="error"``,
+        ``answer=None``, failure details in ``provenance``) in the item's
+        ordered slot, and the stream keeps flowing.
 
     Yields
     ------
@@ -203,6 +234,9 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
         in input order.  Like :func:`solve_many`, streamed solutions never
         carry a live PRAM ``machine``.
     """
+    if on_error not in ("fail", "emit"):
+        raise ValueError(
+            f"on_error must be 'fail' or 'emit', got {on_error!r}")
     opts = _resolve_options(options, option_fields)
     spec = get_task(task)  # fail fast on unknown tasks, before adapting
     _reject_unused_weights(spec, opts)
@@ -264,9 +298,26 @@ def solve_stream(problems: Iterable[Any], task: str = "path_cover", *,
                             else resolve_jobs(jobs)) > 1 else "serial"
 
     def results():
-        for solution in stream_out(_solve_one_payload, payloads(),
-                                   jobs=jobs, window=window,
-                                   chunksize=chunksize, pool=pool):
+        # yields arrive strictly in input order (cache hits and forest
+        # sweeps included), so the running position *is* the batch index —
+        # which is how degraded items with no usable result stay
+        # attributable to their input line
+        for position, item in enumerate(stream_out(
+                _solve_one_payload, payloads(), jobs=jobs, window=window,
+                chunksize=chunksize, pool=pool, retry=retry)):
+            if not isinstance(item, Solution):
+                if not isinstance(item, ErrorOutcome):
+                    # a fault-corrupted (or otherwise mangled) worker
+                    # result: never trust it, never retry it
+                    item = ErrorOutcome(
+                        error=f"worker returned {type(item).__name__} "
+                              f"instead of a Solution", kind="corrupt")
+                keys.pop(position, None)  # never cache a failure
+                if on_error != "emit":
+                    raise WorkerCrashError(item)
+                yield _error_solution(task, worker_opts, item, position)
+                continue
+            solution = item
             if cache is not None:
                 key = keys.pop(solution.provenance["batch_index"], None)
                 if key is not None:
@@ -285,6 +336,8 @@ def solve_many(problems: Iterable[Any], task: str = "path_cover", *,
                jobs: Optional[int] = None,
                chunksize: Optional[int] = None,
                pool: Optional[WorkerPool] = None,
+               retry: Optional[RetryPolicy] = None,
+               on_error: str = "fail",
                **option_fields: Any) -> List[Solution]:
     """Solve a batch of instances, optionally across worker processes.
 
@@ -295,7 +348,9 @@ def solve_many(problems: Iterable[Any], task: str = "path_cover", *,
     in-process, ``0`` means one worker per CPU; pass a persistent
     :class:`~repro.core.WorkerPool` to reuse warm workers across calls.
     Live PRAM machines never cross process boundaries; batch solutions
-    always have ``machine=None``.
+    always have ``machine=None``.  ``retry`` / ``on_error`` behave as in
+    :func:`solve_stream` (worker crashes heal by default; quarantined
+    items raise unless ``on_error="emit"``).
     """
     problems = list(problems)
     n_jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
@@ -307,4 +362,5 @@ def solve_many(problems: Iterable[Any], task: str = "path_cover", *,
     return list(solve_stream(problems, task, options=options, jobs=jobs,
                              window=max(1, len(problems)),
                              chunksize=chunksize, pool=pool,
+                             retry=retry, on_error=on_error,
                              **option_fields))

@@ -55,6 +55,8 @@ from .batch import (
     solve_batch,
     stream_out,
 )
+from .faults import CORRUPT_SENTINEL, FaultPlan
+from .retry import CircuitBreaker, ErrorOutcome, RetryPolicy, WorkerCrashError
 from .path_trees import PathForest, build_pseudo_forest, legalize_forest, remove_dummies
 from .pipeline import (
     STAGE_ORDER,
@@ -84,6 +86,8 @@ __all__ = [
     "StageTiming", "STAGE_ORDER",
     "solve_batch", "BatchResult", "WorkerPool", "Resolved",
     "fan_out", "stream_out", "resolve_jobs",
+    "RetryPolicy", "ErrorOutcome", "WorkerCrashError", "CircuitBreaker",
+    "FaultPlan", "CORRUPT_SENTINEL",
     "or_instance_cotree", "or_from_path_count", "or_from_cover",
     "expected_path_count", "parallel_or_rounds", "LowerBoundInstance",
     "has_hamiltonian_path", "has_hamiltonian_cycle", "hamiltonian_path",

@@ -1,0 +1,182 @@
+"""Deterministic fault injection inside worker processes.
+
+Chaos testing needs failures that are *reproducible*: "the worker dies on
+its 3rd task", "payload #7 always SIGKILLs whoever runs it", "item #4
+takes 800ms".  A :class:`FaultPlan` encodes such a script; the worker
+entrypoint (:func:`repro.core.batch._apply_chunk`) consults
+:func:`active_plan` around every payload it executes.
+
+Plans cross process boundaries through the environment: the parent sets
+``REPRO_FAULTS`` to the plan's JSON before the pool forks, and every
+worker (which inherits the environment at fork time) picks it up on its
+first task.  Two trigger axes are supported per fault:
+
+* ``*_task`` — the Nth payload *this worker process* executes (1-based),
+  e.g. ``{"kill_task": 3}``: every first-generation worker dies on its
+  third task.  Models age-correlated failures (leaks, OOM creep).
+* ``*_index`` — the payload whose leading element (its stream/batch
+  index) equals N, e.g. ``{"kill_index": 7, "once": false}``: a *poison
+  item* that kills any worker that ever touches it.
+
+``once`` (default ``true``) limits a plan to worker **generation 0**:
+:meth:`repro.core.batch.WorkerPool.rebuild` exports
+``REPRO_FAULT_GENERATION`` with the restart count, so workers forked
+after the first heal run fault-free — the "transient crash, transparent
+recovery" scenario.  ``"once": false`` keeps the plan armed across
+rebuilds — the poison/quarantine scenario.
+
+Faults: ``kill`` (SIGKILL the worker mid-task), ``memory`` (raise
+``MemoryError``), ``delay`` (sleep ``delay_seconds``), ``corrupt``
+(replace the result with :data:`CORRUPT_SENTINEL`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["CORRUPT_SENTINEL", "FAULTS_ENV", "GENERATION_ENV", "FaultPlan",
+           "active_plan", "clear_active_plan"]
+
+FAULTS_ENV = "REPRO_FAULTS"
+GENERATION_ENV = "REPRO_FAULT_GENERATION"
+
+#: What a ``corrupt`` fault replaces the worker's result with — a value no
+#: legitimate worker returns, so callers can detect and degrade it.
+CORRUPT_SENTINEL = "__repro-fault-corrupted-result__"
+
+_FIELDS = ("kill_task", "kill_index", "memory_task", "memory_index",
+           "delay_task", "delay_index", "corrupt_task", "corrupt_index")
+
+
+@dataclass
+class FaultPlan:
+    """One deterministic failure script for worker processes.
+
+    All triggers are optional; ``*_task`` counts this worker's executed
+    payloads from 1, ``*_index`` matches ``payload[0]`` (the stream/batch
+    index) when the payload is an indexed tuple.  Instances are stateful
+    (they count tasks) — one per worker process, via :func:`active_plan`.
+    """
+
+    kill_task: Optional[int] = None
+    kill_index: Optional[int] = None
+    memory_task: Optional[int] = None
+    memory_index: Optional[int] = None
+    delay_task: Optional[int] = None
+    delay_index: Optional[int] = None
+    delay_seconds: float = 0.1
+    corrupt_task: Optional[int] = None
+    corrupt_index: Optional[int] = None
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        self._seen = 0
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if all(getattr(self, f) is None for f in _FIELDS):
+            raise ValueError(
+                f"FaultPlan needs at least one trigger ({', '.join(_FIELDS)})")
+
+    # ------------------------------------------------------------- wire --
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` JSON object."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{FAULTS_ENV} is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ValueError(f"{FAULTS_ENV} must be a JSON object, "
+                             f"got {type(raw).__name__}")
+        known = set(_FIELDS) | {"delay_seconds", "once"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan field(s): {sorted(unknown)}")
+        return cls(**raw)
+
+    def to_json(self) -> str:
+        """The inverse of :meth:`from_json` (for tests and CLI plumbing)."""
+        payload: Dict[str, Any] = {
+            f: getattr(self, f) for f in _FIELDS
+            if getattr(self, f) is not None}
+        if self.delay_task is not None or self.delay_index is not None:
+            payload["delay_seconds"] = self.delay_seconds
+        payload["once"] = self.once
+        return json.dumps(payload)
+
+    # ---------------------------------------------------------- firing --
+
+    @staticmethod
+    def payload_index(payload: Any) -> Optional[int]:
+        """The stream/batch index of a payload, if it carries one."""
+        if isinstance(payload, tuple) and payload and \
+                isinstance(payload[0], int):
+            return payload[0]
+        return None
+
+    def _matches(self, task_rule: Optional[int], index_rule: Optional[int],
+                 task_no: int, index: Optional[int]) -> bool:
+        if task_rule is not None and task_no == task_rule:
+            return True
+        return index_rule is not None and index is not None \
+            and index == index_rule
+
+    def apply(self, worker: Callable[[Any], Any], payload: Any) -> Any:
+        """Run ``worker(payload)`` under this plan's fault script."""
+        import time as _time
+        self._seen += 1
+        task_no = self._seen
+        index = self.payload_index(payload)
+        if self._matches(self.kill_task, self.kill_index, task_no, index):
+            # die the way production workers die: uncatchable, mid-task
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._matches(self.memory_task, self.memory_index, task_no, index):
+            raise MemoryError(
+                f"injected fault: memory (task #{task_no}, index {index})")
+        if self._matches(self.delay_task, self.delay_index, task_no, index):
+            _time.sleep(self.delay_seconds)
+        result = worker(payload)
+        if self._matches(self.corrupt_task, self.corrupt_index,
+                         task_no, index):
+            return CORRUPT_SENTINEL
+        return result
+
+
+# One plan instance per worker process.  ``fork`` copies the parent's
+# module state, so the cache is keyed by PID: a forked child with the
+# parent's cache entry re-parses (and re-counts) for itself.
+_cache: Tuple[int, Optional[str], Optional[FaultPlan]] = (-1, None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """This process's armed :class:`FaultPlan`, or ``None``.
+
+    Reads ``REPRO_FAULTS`` once per process (per env value) and caches the
+    stateful plan instance.  Plans with ``once=true`` are inert in worker
+    generations > 0 (``REPRO_FAULT_GENERATION``, stamped by
+    ``WorkerPool.rebuild``).
+    """
+    global _cache
+    text = os.environ.get(FAULTS_ENV)
+    pid = os.getpid()
+    if _cache[0] == pid and _cache[1] == text:
+        return _cache[2]
+    plan: Optional[FaultPlan] = None
+    if text:
+        plan = FaultPlan.from_json(text)
+        if plan.once and int(os.environ.get(GENERATION_ENV, "0") or "0") > 0:
+            plan = None
+    _cache = (pid, text, plan)
+    return plan
+
+
+def clear_active_plan() -> None:
+    """Drop the per-process plan cache (tests re-arm plans mid-process)."""
+    global _cache
+    _cache = (-1, None, None)

@@ -28,6 +28,14 @@ Robustness is structural, not bolted on:
 * **Graceful drain** — :meth:`begin_drain` refuses new work with ``503``
   while in-flight requests run to completion; :meth:`drain` waits for the
   last one.
+* **Self-healing workers** — a solve whose worker process dies
+  (``BrokenProcessPool``) or OOMs rebuilds the pool and re-runs, up to
+  ``Settings.retries`` times with exponential backoff, before answering
+  a structured 500; pool restart/retry counters surface in ``/healthz``
+  and ``/metrics``.
+* **Circuit breaker** — ``Settings.breaker_threshold`` consecutive solve
+  failures open the breaker: ``/v1/*`` answers ``503`` + ``Retry-After``
+  without touching the pool until a half-open probe succeeds.
 
 The HTTP layer is a deliberately small stdlib-only HTTP/1.1 subset
 (request line + headers + ``Content-Length`` bodies, keep-alive): the
@@ -38,8 +46,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -47,7 +56,9 @@ from ..api import SolutionCache, SolveOptions, solve, solve_many, task_names
 from ..api.registry import TASKS
 from ..api.solution import Solution
 from ..api.solve import _from_cache
+from ..core import faults as _faults
 from ..core.batch import WorkerPool
+from ..core.retry import CircuitBreaker, RetryPolicy
 from .._version import __version__
 from .logging_config import get_logger, new_request_id, request_id_var
 from .metrics import Metrics
@@ -94,10 +105,22 @@ class Response:
         return json.loads(self.body.decode("utf8"))
 
 
-def _solve_payload(payload: Tuple) -> Solution:
-    """Worker body for one solve (module level so it pickles)."""
+def _run_solve(payload: Tuple) -> Solution:
     problem, task, options = payload
     return solve(problem, task, options=options).without_machine()
+
+
+def _solve_payload(payload: Tuple) -> Solution:
+    """Worker body for one solve (module level so it pickles).
+
+    Consults the process's armed :class:`~repro.core.faults.FaultPlan`
+    like the streaming engine's worker entrypoint does, so chaos tests
+    can kill/delay the single-solve offload path too.
+    """
+    plan = _faults.active_plan()
+    if plan is not None:
+        return plan.apply(_run_solve, payload)
+    return _run_solve(payload)
 
 
 class ServerApp:
@@ -124,6 +147,15 @@ class ServerApp:
         self._admitted = 0            # queued + executing
         self._in_flight = 0           # executing
         self._draining = False
+        # crash-recovery policy for offloaded solves and batch streams
+        self.retry_policy = RetryPolicy(
+            max_retries=settings.retries,
+            base_delay=settings.retry_backoff,
+            max_delay=max(2.0, settings.retry_backoff))
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(threshold=settings.breaker_threshold,
+                           cooldown=settings.breaker_cooldown)
+            if settings.breaker_threshold > 0 else None)
         self._exec_sem: Optional[asyncio.Semaphore] = None
         self._idle: Optional[asyncio.Event] = None
         self._connections: set = set()
@@ -215,15 +247,46 @@ class ServerApp:
         worker processes (a thread for the in-process degenerate case);
         ``use_pool=False`` runs on a thread regardless — the batch worker
         is a bound method that fans into the pool *itself*.
+
+        Pool-bound work self-heals: a worker process dying mid-solve
+        (``BrokenProcessPool``) or raising ``MemoryError`` rebuilds the
+        executor and re-runs the call, up to ``Settings.retries`` times
+        with backoff, before degrading to a structured 500.
         """
         async with self._exec_sem:
             self._in_flight += 1
             self._update_gauges()
             try:
                 loop = asyncio.get_running_loop()
-                executor = (self.pool.executor or self._threads) \
-                    if use_pool else self._threads
-                return await loop.run_in_executor(executor, fn, *args)
+                if not use_pool or self.pool.serial:
+                    return await loop.run_in_executor(
+                        self._threads, fn, *args)
+                attempt = 0
+                while True:
+                    executor = self.pool.executor
+                    try:
+                        return await loop.run_in_executor(
+                            executor, fn, *args)
+                    except (BrokenExecutor, MemoryError) as exc:
+                        kind = "crash" if isinstance(exc, BrokenExecutor) \
+                            else "memory"
+                        if kind == "crash":
+                            self.pool.rebuild(broken=executor)
+                        attempt += 1
+                        self.log.warning(
+                            "worker failure", extra={
+                                "event": "worker_failure", "kind": kind,
+                                "attempt": attempt,
+                                "pool_restarts": self.pool.restarts})
+                        if attempt > self.settings.retries:
+                            raise HTTPError(
+                                500, f"worker {kind} persisted through "
+                                     f"{attempt} attempt(s); pool rebuilt "
+                                     f"(restarts={self.pool.restarts})"
+                            ) from None
+                        self.pool.note_retry()
+                        await asyncio.sleep(
+                            self.retry_policy.delay_for(attempt))
             finally:
                 self._in_flight -= 1
                 self._update_gauges()
@@ -265,6 +328,9 @@ class ServerApp:
             "queue": {"limit": self.settings.queue_limit,
                       "admitted": self._admitted,
                       "in_flight": self._in_flight},
+            "pool": self.pool.health(),
+            "breaker": (self.breaker.snapshot()
+                        if self.breaker is not None else None),
             "cache": self.cache.stats() if self.cache is not None else None,
             "uptime_seconds": round(
                 time.time() - self.metrics.started_at, 3),
@@ -297,7 +363,10 @@ class ServerApp:
         :func:`~repro.api.solve_many` with the server's shared cache and
         the ``batch_small`` forest routing, so tiny instances are swept
         vectorized and big ones fan out over the warm pool.  Results come
-        back in request order.
+        back in request order.  Worker crashes heal under the server's
+        retry policy; a record whose retries are exhausted comes back as
+        a structured error solution (``backend="error"``) in its slot
+        instead of failing the whole batch.
         """
         threshold = self.settings.batch_small or None
         groups: Dict[Tuple, List[int]] = {}
@@ -312,7 +381,9 @@ class ServerApp:
                                           batch_small=threshold)
             pool = None if self.pool.serial else self.pool
             solutions = solve_many([requests[i].problem for i in indices],
-                                   first.task, options=options, pool=pool)
+                                   first.task, options=options, pool=pool,
+                                   retry=self.retry_policy,
+                                   on_error="emit")
             for i, solution in zip(indices, solutions):
                 solution.provenance["batch_index"] = i
                 out[i] = solution.to_json_dict()
@@ -333,7 +404,18 @@ class ServerApp:
         started = time.perf_counter()
         task_label = {"/healthz": "healthz", "/metrics": "metrics",
                       "/v1/solve_batch": "solve_batch"}.get(path, "-")
+        solving = path in ("/v1/solve", "/v1/solve_batch")
+        breaker_open = False
         try:
+            if solving and self.breaker is not None \
+                    and not self.breaker.allow():
+                breaker_open = True
+                retry_after = max(1, math.ceil(self.breaker.retry_after()))
+                self.metrics.record_breaker_rejection()
+                raise HTTPError(
+                    503, f"circuit breaker is open after repeated solve "
+                         f"failures; retry in {retry_after}s",
+                    headers={"Retry-After": str(retry_after)})
             if path == "/healthz":
                 if method != "GET":
                     raise HTTPError(405, "use GET")
@@ -343,10 +425,14 @@ class ServerApp:
                     raise HTTPError(405, "use GET")
                 stats = self.cache.stats() if self.cache is not None \
                     else None
+                breaker_state = (self.breaker.snapshot()
+                                 if self.breaker is not None else None)
                 response = Response(
                     200, {"Content-Type":
                           "text/plain; version=0.0.4; charset=utf-8"},
-                    self.metrics.render(stats).encode("utf8"))
+                    self.metrics.render(
+                        stats, pool_health=self.pool.health(),
+                        breaker=breaker_state).encode("utf8"))
             elif path == "/v1/solve":
                 if method != "POST":
                     raise HTTPError(405, "use POST")
@@ -376,11 +462,21 @@ class ServerApp:
                 400, "request failed validation", errors=exc.errors))
         except HTTPError as exc:
             response = _error_response(exc)
-        except Exception:
+        except Exception as exc:
             self.log.exception("unhandled error", extra={"path": path})
+            # never a bodyless 500: the client gets a structured JSON
+            # error carrying the request id it can quote back at us
             response = _error_response(HTTPError(
-                500, "internal server error"))
+                500, f"internal server error "
+                     f"({type(exc).__name__}); see server logs"))
         duration = time.perf_counter() - started
+        if solving and self.breaker is not None and not breaker_open:
+            # drain/admission 503s and client errors are not solver
+            # failures; 5xx outcomes of real solve attempts are
+            if response.status >= 500 and response.status != 503:
+                self.breaker.record_failure()
+            elif 200 <= response.status < 300:
+                self.breaker.record_success()
         if path.startswith("/v1/") or path in ("/healthz", "/metrics"):
             self.metrics.observe_request(task_label, response.status,
                                          duration)
@@ -476,7 +572,9 @@ def _json_response(status: int, data: Any) -> Response:
 
 def _error_response(exc: HTTPError) -> Response:
     payload: Dict[str, Any] = {"error": {"status": exc.status,
-                                         "message": exc.message}}
+                                         "message": exc.message,
+                                         "request_id":
+                                             request_id_var.get()}}
     if exc.errors:
         payload["error"]["details"] = exc.errors
     response = _json_response(exc.status, payload)

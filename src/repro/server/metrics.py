@@ -75,6 +75,8 @@ class Metrics:
         self.latency: Dict[str, LatencyHistogram] = {}
         self.rejected_total = 0       # 429s (also counted in requests_total)
         self.timeouts_total = 0       # 504s (also counted in requests_total)
+        self.internal_errors_total = 0   # 500s (structured or unexpected)
+        self.breaker_rejections_total = 0  # 503s from an open breaker
         # gauges, maintained by the app layer
         self.in_flight = 0
         self.queue_depth = 0
@@ -93,6 +95,8 @@ class Metrics:
                 self.rejected_total += 1
             elif status == 504:
                 self.timeouts_total += 1
+            elif status == 500:
+                self.internal_errors_total += 1
             hist = self.latency.get(task)
             if hist is None:
                 hist = self.latency[task] = LatencyHistogram()
@@ -103,12 +107,24 @@ class Metrics:
             self.in_flight = in_flight
             self.queue_depth = queue_depth
 
+    def record_breaker_rejection(self) -> None:
+        """Count one request turned away by an open circuit breaker."""
+        with self._lock:
+            self.breaker_rejections_total += 1
+
     # ------------------------------------------------------------------ #
     # exposition
     # ------------------------------------------------------------------ #
 
-    def render(self, cache_stats: Optional[Dict[str, int]] = None) -> str:
-        """The ``/metrics`` text exposition."""
+    def render(self, cache_stats: Optional[Dict[str, int]] = None,
+               pool_health: Optional[Dict[str, int]] = None,
+               breaker: Optional[Dict[str, object]] = None) -> str:
+        """The ``/metrics`` text exposition.
+
+        ``pool_health`` is :meth:`repro.core.WorkerPool.health` and
+        ``breaker`` is :meth:`repro.core.CircuitBreaker.snapshot`; both
+        are optional so the registry stays usable standalone.
+        """
         with self._lock:
             lines: List[str] = []
 
@@ -134,6 +150,15 @@ class Metrics:
             header("repro_timeouts_total", "counter",
                    "Requests that hit the per-request timeout (504).")
             lines.append(f"repro_timeouts_total {self.timeouts_total}")
+            header("repro_internal_errors_total", "counter",
+                   "Requests answered 500 (worker crash after retries, "
+                   "or an unexpected exception).")
+            lines.append(f"repro_internal_errors_total "
+                         f"{self.internal_errors_total}")
+            header("repro_breaker_rejections_total", "counter",
+                   "Requests refused by an open circuit breaker (503).")
+            lines.append(f"repro_breaker_rejections_total "
+                         f"{self.breaker_rejections_total}")
 
             header("repro_in_flight", "gauge",
                    "Requests currently executing.")
@@ -160,6 +185,43 @@ class Metrics:
                        "Entries currently cached.")
                 lines.append(f"repro_cache_size "
                              f"{cache_stats.get('size', 0)}")
+
+            if pool_health is not None:
+                header("repro_pool_restarts_total", "counter",
+                       "Worker-pool executor rebuilds after crashes.")
+                lines.append(f"repro_pool_restarts_total "
+                             f"{pool_health.get('restarts', 0)}")
+                header("repro_pool_retries_total", "counter",
+                       "Item re-executions after worker failures.")
+                lines.append(f"repro_pool_retries_total "
+                             f"{pool_health.get('retries', 0)}")
+                header("repro_pool_quarantined_total", "counter",
+                       "Items degraded to structured errors after "
+                       "exhausting retries.")
+                lines.append(f"repro_pool_quarantined_total "
+                             f"{pool_health.get('quarantined', 0)}")
+                header("repro_pool_workers", "gauge",
+                       "Configured solver worker processes.")
+                lines.append(f"repro_pool_workers "
+                             f"{pool_health.get('jobs', 0)}")
+
+            if breaker is not None:
+                # one-hot state gauge, the idiomatic Prometheus encoding
+                header("repro_breaker_state", "gauge",
+                       "Circuit-breaker state (one-hot).")
+                current = breaker.get("state")
+                for state in ("closed", "open", "half_open"):
+                    flag = 1 if state == current else 0
+                    lines.append(
+                        f'repro_breaker_state{{state="{state}"}} {flag}')
+                header("repro_breaker_opened_total", "counter",
+                       "Times the circuit breaker has opened.")
+                lines.append(f"repro_breaker_opened_total "
+                             f"{breaker.get('opened_total', 0)}")
+                header("repro_breaker_consecutive_failures", "gauge",
+                       "Consecutive solve failures seen by the breaker.")
+                lines.append(f"repro_breaker_consecutive_failures "
+                             f"{breaker.get('consecutive_failures', 0)}")
 
             header("repro_request_seconds", "summary",
                    "Request latency quantiles by task (histogram "

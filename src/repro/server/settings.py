@@ -69,6 +69,21 @@ class Settings:
         drain before giving up.
     max_body_bytes:
         request bodies above this are refused with ``413``.
+    retries:
+        how many times one request's solve is re-run after its worker
+        process dies (``BrokenProcessPool``) or raises ``MemoryError``;
+        the pool is rebuilt between attempts.  ``0`` fails fast with a
+        structured 500.
+    retry_backoff:
+        base of the capped exponential backoff (seconds) between those
+        attempts — and between stream resubmissions in batch routes.
+    breaker_threshold:
+        consecutive solve failures (5xx) that open the circuit breaker;
+        while open, ``/v1/*`` answers ``503`` + ``Retry-After`` without
+        touching the pool.  ``0`` disables the breaker.
+    breaker_cooldown:
+        seconds an open breaker waits before letting one half-open probe
+        through (success closes it, failure re-opens it).
     log_level / log_format:
         structured-logging knobs (``kv`` = ``key=value`` lines, ``json``
         = one JSON object per line).
@@ -84,6 +99,10 @@ class Settings:
     request_timeout: float = 30.0
     shutdown_timeout: float = 10.0
     max_body_bytes: int = 1 << 20
+    retries: int = 2
+    retry_backoff: float = 0.05
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 5.0
     log_level: str = "INFO"
     log_format: str = "kv"
 
@@ -95,8 +114,12 @@ class Settings:
         _check_int(self, "batch_small", minimum=0)
         _check_int(self, "max_batch", minimum=1)
         _check_int(self, "max_body_bytes", minimum=1)
+        _check_int(self, "retries", minimum=0)
+        _check_int(self, "breaker_threshold", minimum=0)
         _check_float(self, "request_timeout", minimum_exclusive=0.0)
         _check_float(self, "shutdown_timeout", minimum=0.0)
+        _check_float(self, "retry_backoff", minimum=0.0)
+        _check_float(self, "breaker_cooldown", minimum_exclusive=0.0)
         level = str(self.log_level).upper()
         if level not in _LOG_LEVELS:
             raise ValueError(f"log_level must be one of {_LOG_LEVELS}, "
