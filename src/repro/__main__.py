@@ -21,6 +21,11 @@ are accepted too) — and one solution is written per line, in input order,
 as they complete.  ``--jobs`` fans the stream out over worker processes
 with bounded in-flight instances (``--window``), and ``--cache`` answers
 repeated identical instances from an LRU cache.
+
+``--stream --format binary`` switches the *input* side to the zero-copy
+wire format (:mod:`repro.io.wire`): stdin carries u32 length-prefixed
+frames, each a ``to_bytes`` buffer, and ingestion memory-views instead of
+parsing JSON.  Solutions still stream out as text/JSONL.
 """
 
 from __future__ import annotations
@@ -44,6 +49,40 @@ from .backends import BACKEND_NAMES
 from .io import render_cover
 
 
+def _backend_report() -> str:
+    """Which backends are live, with the compiled tier's mode — shared by
+    ``--version`` and the ``version`` subcommand (the server's ``/healthz``
+    reports the same structured facts)."""
+    from .kernels import kernel_status
+    status = kernel_status()
+    parts = []
+    for name in BACKEND_NAMES:
+        if name != "kernel":
+            parts.append(name)
+        elif status["numba_available"]:
+            parts.append(f"kernel[jit, numba {status['numba_version']}]")
+        else:
+            parts.append("kernel[fallback]")
+    return ", ".join(parts)
+
+
+def _version_line() -> str:
+    return f"repro {__version__} (backends: {_backend_report()})"
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` with the backend report, composed lazily (probing the
+    kernel tier imports numba; only the version paths should pay that)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(_version_line())
+        parser.exit()
+
+
 def _task_help_lines() -> str:
     """The task list of ``--help``, derived from the registry — a newly
     registered task appears here (and in the ``--task`` choices) with no
@@ -65,8 +104,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Minimum path cover on cographs (Nakano-Olariu-Zomaya) "
                     "— one front door over every task.")
-    parser.add_argument("--version", action="version",
-                        version=f"repro {__version__}")
+    parser.add_argument("--version", action=_VersionAction,
+                        help="print version and live backends, then exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
@@ -101,6 +140,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stream", action="store_true",
                      help="read one problem per line (JSON Lines) from "
                           "stdin and stream solutions out in input order")
+    run.add_argument("--format", default="jsonl",
+                     choices=("jsonl", "binary"),
+                     help="for --stream: input framing — 'jsonl' (default) "
+                          "or 'binary' (u32 length-prefixed repro.io.wire "
+                          "frames, decoded zero-copy)")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="worker processes for --stream (0 = one per CPU; "
                           "default: in-process)")
@@ -258,6 +302,33 @@ def _iter_jsonl(lines, task: str, on_error: str = "fail",
         good += 1
 
 
+def _iter_wire_frames(stream, task: str, on_error: str = "fail",
+                      pending_errors=None):
+    """Lazily decode u32 length-prefixed wire frames from a binary stream.
+
+    The ``--format binary`` counterpart of :func:`_iter_jsonl`: with
+    ``on_error="emit"`` a frame that fails wire validation parks a record
+    ``{"error": ..., "frame": N}`` and the stream continues; a *truncated*
+    stream always fails — once the framing is lost there is no next frame
+    to resynchronise on.
+    """
+    from .io.wire import read_frames
+    good = 0
+    for frame_no, payload in enumerate(read_frames(stream), 1):
+        if on_error == "emit":
+            try:
+                value = as_problem(payload, task=task)
+            except (ValueError, TypeError) as exc:
+                pending_errors.setdefault(good, []).append(
+                    {"error": str(exc), "frame": frame_no})
+                continue
+        else:
+            # workers adapt the raw bytes themselves (zero-copy per worker)
+            value = payload
+        yield value
+        good += 1
+
+
 def _print_solution(solution, as_json: bool) -> None:
     if as_json:
         print(json.dumps(solution.to_json_dict()))
@@ -302,8 +373,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 if args.retry_backoff is not None else defaults.base_delay,
                 deadline=args.deadline)
         pending_errors = {}
+        if args.format == "binary":
+            instances = _iter_wire_frames(sys.stdin.buffer, args.task,
+                                          args.on_error, pending_errors)
+        else:
+            instances = _iter_jsonl(sys.stdin, args.task, args.on_error,
+                                    pending_errors)
         stream = solve_stream(
-            _iter_jsonl(sys.stdin, args.task, args.on_error, pending_errors),
+            instances,
             args.task, options=options, jobs=args.jobs,
             window=args.window, chunksize=args.chunksize,
             retry=retry, on_error=args.on_error)
@@ -348,10 +425,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             or args.chunksize != 1 or args.cache is not None \
             or args.batch_small is not None or args.on_error != "fail" \
             or args.retries is not None or args.retry_backoff is not None \
-            or args.deadline is not None:
+            or args.deadline is not None or args.format != "jsonl":
         raise ValueError("--jobs/--window/--chunksize/--cache/--batch-small"
-                         "/--on-error/--retries/--retry-backoff/--deadline "
-                         "only apply to --stream")
+                         "/--on-error/--retries/--retry-backoff/--deadline"
+                         "/--format only apply to --stream")
     problem = (_parse_bits(args.input, args.task) if _takes_bits(args.task)
                else args.input)
     solution = solve(problem, args.task, options=options)
@@ -392,7 +469,7 @@ def main(argv=None) -> int:
     if args.command == "tasks":
         return _cmd_tasks()
     if args.command == "version":
-        print(f"repro {__version__}")
+        print(_version_line())
         return 0
     try:
         if args.command == "serve":

@@ -1,4 +1,4 @@
 """Single source of truth for the package version (import-cycle-free: both
 ``repro`` and its subpackages read it from here)."""
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

@@ -8,6 +8,8 @@ turns any of
 * an edge list (``[(0, 1), (1, 2)]`` or an ``(m, 2)`` array),
 * an adjacency dict (``{0: [1], 1: [0, 2], 2: [1]}``),
 * the compact cotree text form (``"(0 + (1 * 2))"``),
+* binary wire bytes produced by :func:`repro.io.wire.to_bytes`
+  (``bytes`` / ``bytearray`` / ``memoryview`` — decoded zero-copy),
 * a path to a JSON file produced by :func:`repro.io.save_json`,
 * a 0/1 bit vector (``[1, 0, 1]`` — the Fig. 2 lower-bound reduction;
   accepted only for ``task="lower_bound"``, so a flat integer list can
@@ -45,7 +47,8 @@ __all__ = ["Problem", "as_problem", "SOURCE_FORMATS"]
 
 #: every ``Problem.source_format`` value an adapter can produce.
 SOURCE_FORMATS = ("problem", "cotree", "flat_cotree", "binary_cotree",
-                  "graph", "edge_list", "adjacency", "text", "json", "bits")
+                  "graph", "edge_list", "adjacency", "text", "json", "bits",
+                  "wire")
 
 TreeLike = Union[Cotree, BinaryCotree, FlatCotree]
 
@@ -177,6 +180,8 @@ def as_problem(obj: Any, *, task: Optional[str] = None) -> Problem:
         return Problem(source_format="graph", graph=obj)
     if isinstance(obj, LowerBoundInstance):
         return Problem(source_format="bits", instance=obj)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return _from_wire(obj)
     if isinstance(obj, os.PathLike):
         return _from_json_path(os.fspath(obj))
     if isinstance(obj, str):
@@ -190,13 +195,21 @@ def as_problem(obj: Any, *, task: Optional[str] = None) -> Problem:
     raise TypeError(
         f"cannot interpret {type(obj).__name__!r} as a problem; accepted: "
         f"Cotree, BinaryCotree, Graph, edge list, adjacency dict, cotree "
-        f"text like '(0 + (1 * 2))', a JSON file path, a 0/1 bit vector, "
+        f"text like '(0 + (1 * 2))', binary wire bytes "
+        f"(repro.io.wire.to_bytes), a JSON file path, a 0/1 bit vector, "
         f"LowerBoundInstance, or Problem")
 
 
 # --------------------------------------------------------------------------- #
 # per-form adapters
 # --------------------------------------------------------------------------- #
+
+def _from_wire(buf) -> Problem:
+    """Binary wire bytes: decoded zero-copy, validated by header CRC +
+    exact-length checks (a bad buffer raises ValueError, never crashes)."""
+    from ..io.wire import from_bytes
+    return Problem(source_format="wire", tree=from_bytes(buf))
+
 
 def _from_string(text: str) -> Problem:
     stripped = text.strip()

@@ -1,0 +1,43 @@
+"""The compiled-kernel backend: FastBackend semantics + fused hot loops.
+
+:class:`KernelBackend` is the third implementation of the
+:class:`~repro.backends.base.ExecutionContext` protocol.  It *is* a
+:class:`~repro.backends.fast_backend.FastBackend` (``simulates = False``, no
+accounting, identical array surface) that additionally carries a
+:class:`~repro.kernels.Kernels` table on ``self.kernels``.  Hot call sites —
+the cotree-DP level sweep (:mod:`repro.core.dp`), binarize's id allocation,
+the leftist swap and extract's permutation scatter — probe for that
+attribute with ``getattr(ctx, "kernels", None)`` and, when present, replace
+their per-pass vectorized expressions with one fused kernel call.
+
+When numba is installed the kernels are jitted parallel loops
+(``kernel_mode == "jit"``); when it is not, the table degrades to the exact
+NumPy expressions the call sites would have run anyway
+(``kernel_mode == "fallback"``), so ``backend="kernel"`` is always safe to
+request.  Answers are bit-identical across all three backends either way —
+``tests/test_kernel_backend.py`` asserts it for every registered task.
+"""
+
+from __future__ import annotations
+
+from .fast_backend import FastBackend
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(FastBackend):
+    """Run the pipeline through the fused-kernel tier (numba-jitted when
+    available, NumPy fallback otherwise)."""
+
+    name = "kernel"
+
+    def __init__(self) -> None:
+        # lazy import: `import repro` must not pay the numba import unless a
+        # kernel backend is actually constructed
+        from ..kernels import KERNELS
+        self.kernels = KERNELS
+
+    @property
+    def kernel_mode(self) -> str:
+        """``"jit"`` when the numba tier is live, ``"fallback"`` otherwise."""
+        return self.kernels.mode

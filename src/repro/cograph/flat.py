@@ -76,10 +76,16 @@ class FlatCotree:
         (``0`` generic, ``1`` thin, ``2`` thick).  A spider-flagged prime
         lays its children out as ``[s_1..s_k, k_1..k_k, (r)]`` (feet, body,
         optional head) so closed-form DP combines need no edge scan.
+    pre_validated:
+        set ``True`` by trusted producers only — :meth:`canonicalize`
+        output and verified wire-format loads
+        (:func:`repro.io.wire.from_bytes` after its CRC check) — so
+        pipeline stages may skip redundant full-array re-validation.
+        Defaults to ``False`` for every directly constructed tree.
     """
 
     __slots__ = ("kind", "child_offset", "child_index", "parent",
-                 "leaf_vertex", "root",
+                 "leaf_vertex", "root", "pre_validated",
                  "q_offset", "q_edge_u", "q_edge_v", "spider",
                  "_leaves", "_internal", "_vertices", "_degrees",
                  "_has_primes")
@@ -93,6 +99,10 @@ class FlatCotree:
         self.parent = np.asarray(parent, dtype=np.int64)
         self.leaf_vertex = np.asarray(leaf_vertex, dtype=np.int64)
         self.root = int(root)
+        # set True only by trusted producers (a verified wire-format load,
+        # canonicalize output): lets the pipeline skip redundant full-array
+        # re-validation on the hot path
+        self.pre_validated = False
         # lazily-computed derived arrays (hot in the DP level loop)
         self._leaves = None
         self._internal = None
@@ -346,8 +356,12 @@ class FlatCotree:
         roots = np.flatnonzero(new_parent == -1)
         if len(roots) != 1:  # pragma: no cover - structural invariant
             raise CotreeError("canonicalize produced a forest")
-        return FlatCotree(new_kind, offset, order, new_parent,
-                          new_leaf_vertex, int(roots[0]))
+        out = FlatCotree(new_kind, offset, order, new_parent,
+                         new_leaf_vertex, int(roots[0]))
+        # canonical by construction (unary nodes spliced, clusters merged):
+        # downstream stages may skip their canonical re-scan
+        out.pre_validated = True
+        return out
 
     # ------------------------------------------------------------------ #
     # dunder / misc

@@ -48,9 +48,13 @@ def extract_paths(ctx, forest: PathForest, *,
     starts = prefix_sum(machine, sizes, inclusive=False,
                         label=f"{label}.starts")
 
-    order = np.empty(num_real, dtype=np.int64)
+    kernels = getattr(machine, "kernels", None)
     with machine.step(active=num_real, label=f"{label}:permute"):
-        order[inorder] = np.arange(num_real)
+        if kernels is not None:
+            order = kernels.invert_permutation(inorder)
+        else:
+            order = np.empty(num_real, dtype=np.int64)
+            order[inorder] = np.arange(num_real)
 
     # materialise the cover with C-level slicing: one tolist for the whole
     # permutation, then per-path list slices (no per-node Python work)

@@ -1,4 +1,5 @@
-"""Serialisation (JSON / compact text) and ASCII rendering."""
+"""Serialisation (JSON / compact text / zero-copy binary wire) and ASCII
+rendering."""
 
 from .drawing import (
     render_binary_cotree,
@@ -19,11 +20,21 @@ from .serialization import (
     load_json,
     save_json,
 )
+from .wire import (
+    frame,
+    from_bytes,
+    read_frames,
+    to_bytes,
+)
+from .wire import load as load_wire
+from .wire import save as save_wire
 
 __all__ = [
     "cotree_to_json", "cotree_from_json", "cotree_to_text", "cotree_from_text",
     "cover_to_json", "cover_from_json", "graph_to_json", "graph_from_json",
     "save_json", "load_json",
+    "to_bytes", "from_bytes", "save_wire", "load_wire", "frame",
+    "read_frames",
     "render_cotree", "render_binary_cotree", "render_binary_tree",
     "render_forest", "render_cover",
 ]

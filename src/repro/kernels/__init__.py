@@ -1,0 +1,50 @@
+"""Optional compiled-kernel tier (PR 10).
+
+This package hosts the fused hot-loop kernels behind
+:class:`~repro.backends.kernel_backend.KernelBackend` — the third execution
+backend.  Numba is an **optional** dependency (``pip install .[kernels]``):
+
+* when it imports cleanly the kernels are ``@njit(parallel=True)`` compiled
+  loops (``mode == "jit"``);
+* when it is absent (or broken) the same table is backed by the exact NumPy
+  expressions the call sites used before kernels existed
+  (``mode == "fallback"``) — bit-identical answers, no compilation, no new
+  dependency.
+
+Availability is probed **once at import time** and cached in
+:data:`NUMBA_AVAILABLE`; :func:`kernel_status` is the structured view that
+``python -m repro --version`` and the server's ``/healthz`` report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .fused import OP_CODES, Kernels, build_kernels
+
+__all__ = ["KERNELS", "Kernels", "build_kernels", "kernel_status",
+           "NUMBA_AVAILABLE", "NUMBA_VERSION", "OP_CODES"]
+
+#: import-time probe, run exactly once per process
+NUMBA_AVAILABLE: bool
+NUMBA_VERSION: Optional[str]
+try:  # pragma: no cover - depends on the environment
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION = getattr(_numba, "__version__", "unknown")
+except Exception:  # pragma: no cover - the no-numba environment
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+
+#: the process-wide kernel table (jit when numba is live, else fallback)
+KERNELS: Kernels = build_kernels(prefer_jit=NUMBA_AVAILABLE)
+
+
+def kernel_status() -> Dict[str, object]:
+    """The compiled-kernel tier's health, for ``--version`` / ``/healthz``."""
+    return {
+        "numba_available": NUMBA_AVAILABLE,
+        "numba_version": NUMBA_VERSION,
+        "mode": KERNELS.mode,
+    }

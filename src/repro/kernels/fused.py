@@ -1,0 +1,301 @@
+"""Fused hot-loop kernels: Numba-jitted when available, NumPy otherwise.
+
+Every kernel exists twice:
+
+* a **jitted** implementation — ``@njit(cache=True, parallel=True)`` loops
+  with ``prange`` over independent output slots, so the result is
+  deterministic (each slot is reduced left-to-right, exactly the order
+  ``ufunc.reduceat`` uses) while the slots themselves run on all cores;
+* a **NumPy fallback** that is *literally the vectorized expression the
+  call site used before kernels existed* (``reduceat``, fancy-index
+  scatter, ``arange - repeat``), so fallback mode is bit-identical to
+  :class:`~repro.backends.fast_backend.FastBackend` by construction.
+
+:func:`build_kernels` returns a :class:`Kernels` table in ``"jit"`` or
+``"fallback"`` mode; call sites never know which they got.  The reduction
+operators are passed as the engine's string names (``"sum"`` / ``"max"`` /
+``"min"`` / ``"prod"``) and translated to integer op codes at the wrapper
+layer — jitted loops dispatch on a plain ``int``.
+
+Semantics contract (checked by ``tests/test_kernel_backend.py`` property
+tests): ``segment_reduce`` / ``gather_reduce`` / ``level_gather_reduce``
+replicate ``ufunc.reduceat`` over the same segments, including the
+degenerate empty-segment rule (``out[i] = values[offsets[i]]``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["Kernels", "build_kernels", "OP_CODES"]
+
+#: engine op name -> integer op code used inside the jitted loops
+OP_CODES = {"sum": 0, "max": 1, "min": 2, "prod": 3}
+
+#: op code -> the ufunc the NumPy fallbacks reduce with
+_UFUNC_BY_CODE = (np.add, np.maximum, np.minimum, np.multiply)
+
+
+# --------------------------------------------------------------------------- #
+# NumPy fallbacks (the pre-kernel expressions, verbatim)
+# --------------------------------------------------------------------------- #
+
+def _segment_reduce_np(values, seg_offsets, opcode):
+    return _UFUNC_BY_CODE[opcode].reduceat(values, seg_offsets[:-1])
+
+
+def _gather_reduce_np(values, index, seg_offsets, opcode):
+    return _UFUNC_BY_CODE[opcode].reduceat(values[index], seg_offsets[:-1])
+
+
+def _level_gather_reduce_np(values, child_offset, child_index, nodes, opcode):
+    starts = child_offset[nodes]
+    counts = child_offset[nodes + 1] - starts
+    seg_offsets = np.zeros(len(nodes) + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg_offsets[1:])
+    total = int(seg_offsets[-1])
+    pos = (np.arange(total, dtype=np.int64)
+           - np.repeat(seg_offsets[:-1], counts)
+           + np.repeat(starts, counts))
+    return _UFUNC_BY_CODE[opcode].reduceat(values[child_index[pos]],
+                                           seg_offsets[:-1])
+
+
+def _invert_permutation_np(perm):
+    out = np.empty(len(perm), dtype=np.int64)
+    out[perm] = np.arange(len(perm), dtype=np.int64)
+    return out
+
+
+def _segment_arange_np(counts):
+    total = int(counts.sum())
+    offsets = np.cumsum(counts) - counts
+    return (np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, counts))
+
+
+def _leftist_swap_np(left, right, leaves, internal):
+    viol = internal[leaves[left[internal]] < leaves[right[internal]]]
+    if len(viol):
+        tmp = left[viol].copy()
+        left[viol] = right[viol]
+        right[viol] = tmp
+    return int(len(viol))
+
+
+_NUMPY_TABLE: Dict[str, Any] = {
+    "segment_reduce": _segment_reduce_np,
+    "gather_reduce": _gather_reduce_np,
+    "level_gather_reduce": _level_gather_reduce_np,
+    "invert_permutation": _invert_permutation_np,
+    "segment_arange": _segment_arange_np,
+    "leftist_swap": _leftist_swap_np,
+}
+
+
+# --------------------------------------------------------------------------- #
+# jitted implementations (compiled lazily on first call, per dtype)
+# --------------------------------------------------------------------------- #
+
+def _build_jit_table() -> Dict[str, Any]:
+    """Compile the jitted kernel table (raises when numba is unusable)."""
+    from numba import njit, prange
+
+    @njit(cache=True, parallel=True)
+    def segment_reduce(values, seg_offsets, opcode):
+        m = seg_offsets.shape[0] - 1
+        n = values.shape[0]
+        out = np.empty(m, values.dtype)
+        for i in prange(m):
+            s = seg_offsets[i]
+            e = seg_offsets[i + 1]
+            if s >= e:
+                # reduceat's degenerate rule: an empty segment yields the
+                # element at its own offset
+                out[i] = values[min(s, n - 1)]
+                continue
+            acc = values[s]
+            for j in range(s + 1, e):
+                v = values[j]
+                if opcode == 0:
+                    acc = acc + v
+                elif opcode == 1:
+                    acc = v if v > acc else acc
+                elif opcode == 2:
+                    acc = v if v < acc else acc
+                else:
+                    acc = acc * v
+            out[i] = acc
+        return out
+
+    @njit(cache=True, parallel=True)
+    def gather_reduce(values, index, seg_offsets, opcode):
+        m = seg_offsets.shape[0] - 1
+        k = index.shape[0]
+        out = np.empty(m, values.dtype)
+        for i in prange(m):
+            s = seg_offsets[i]
+            e = seg_offsets[i + 1]
+            if s >= e:
+                out[i] = values[index[min(s, k - 1)]]
+                continue
+            acc = values[index[s]]
+            for j in range(s + 1, e):
+                v = values[index[j]]
+                if opcode == 0:
+                    acc = acc + v
+                elif opcode == 1:
+                    acc = v if v > acc else acc
+                elif opcode == 2:
+                    acc = v if v < acc else acc
+                else:
+                    acc = acc * v
+            out[i] = acc
+        return out
+
+    @njit(cache=True, parallel=True)
+    def level_gather_reduce(values, child_offset, child_index, nodes, opcode):
+        m = nodes.shape[0]
+        out = np.empty(m, values.dtype)
+        for i in prange(m):
+            u = nodes[i]
+            s = child_offset[u]
+            e = child_offset[u + 1]
+            if s >= e:
+                out[i] = 0
+                continue
+            acc = values[child_index[s]]
+            for j in range(s + 1, e):
+                v = values[child_index[j]]
+                if opcode == 0:
+                    acc = acc + v
+                elif opcode == 1:
+                    acc = v if v > acc else acc
+                elif opcode == 2:
+                    acc = v if v < acc else acc
+                else:
+                    acc = acc * v
+            out[i] = acc
+        return out
+
+    @njit(cache=True, parallel=True)
+    def invert_permutation(perm):
+        n = perm.shape[0]
+        out = np.empty(n, np.int64)
+        for i in prange(n):
+            out[perm[i]] = i
+        return out
+
+    @njit(cache=True, parallel=True)
+    def segment_arange(counts):
+        m = counts.shape[0]
+        offsets = np.empty(m + 1, np.int64)
+        offsets[0] = 0
+        for i in range(m):
+            offsets[i + 1] = offsets[i] + counts[i]
+        out = np.empty(offsets[m], np.int64)
+        for i in prange(m):
+            base = offsets[i]
+            for j in range(counts[i]):
+                out[base + j] = j
+        return out
+
+    @njit(cache=True, parallel=True)
+    def leftist_swap(left, right, leaves, internal):
+        count = 0
+        for i in prange(internal.shape[0]):
+            u = internal[i]
+            lo = left[u]
+            hi = right[u]
+            if leaves[lo] < leaves[hi]:
+                left[u] = hi
+                right[u] = lo
+                count += 1
+        return count
+
+    return {
+        "segment_reduce": segment_reduce,
+        "gather_reduce": gather_reduce,
+        "level_gather_reduce": level_gather_reduce,
+        "invert_permutation": invert_permutation,
+        "segment_arange": segment_arange,
+        "leftist_swap": leftist_swap,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# the public kernel table
+# --------------------------------------------------------------------------- #
+
+def _c(a):
+    """Contiguity coercion for the jitted loops (no copy when already C)."""
+    return np.ascontiguousarray(a)
+
+
+class Kernels:
+    """One immutable kernel table; ``mode`` is ``"jit"`` or ``"fallback"``.
+
+    Call sites hold a single ``Kernels`` reference (via
+    :class:`~repro.backends.kernel_backend.KernelBackend`) and never branch
+    on the mode: the table behind the methods already is whichever tier the
+    environment supports.
+    """
+
+    __slots__ = ("mode", "_t")
+
+    def __init__(self, mode: str, table: Dict[str, Any]) -> None:
+        self.mode = mode
+        self._t = table
+
+    # -- segmented reductions (ufunc.reduceat semantics) ----------------- #
+
+    def segment_reduce(self, values, seg_offsets, op: str):
+        """Per-segment reduction of ``values`` (``reduceat`` semantics)."""
+        return self._t["segment_reduce"](_c(values), _c(seg_offsets),
+                                         OP_CODES[op])
+
+    def gather_reduce(self, values, index, seg_offsets, op: str):
+        """Per-segment reduction of ``values[index]`` without materialising
+        the gather."""
+        return self._t["gather_reduce"](_c(values), _c(index),
+                                        _c(seg_offsets), OP_CODES[op])
+
+    def level_gather_reduce(self, values, child_offset, child_index, nodes,
+                            op: str):
+        """The fully fused DP level sweep: for every node ``u`` in ``nodes``
+        reduce ``values`` over ``u``'s CSR child slice in one pass — no
+        child-position arithmetic, no gathered temporaries."""
+        return self._t["level_gather_reduce"](_c(values), _c(child_offset),
+                                              _c(child_index), _c(nodes),
+                                              OP_CODES[op])
+
+    # -- per-stage passes ------------------------------------------------ #
+
+    def invert_permutation(self, perm):
+        """``out[perm[i]] = i`` (the extract-stage permutation scatter)."""
+        return self._t["invert_permutation"](_c(perm))
+
+    def segment_arange(self, counts):
+        """Concatenated ``0..counts[i]-1`` ranges (binarize id allocation)."""
+        return self._t["segment_arange"](_c(counts))
+
+    def leftist_swap(self, left, right, leaves, internal):
+        """Swap children of every leftist-violating node **in place**;
+        returns the number of swaps."""
+        return self._t["leftist_swap"](left, right, _c(leaves), _c(internal))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kernels(mode={self.mode!r})"
+
+
+def build_kernels(prefer_jit: bool = True) -> Kernels:
+    """Build the kernel table: jitted when numba imports cleanly, else the
+    NumPy fallback tier (same answers, no compilation)."""
+    if prefer_jit:
+        try:
+            return Kernels("jit", _build_jit_table())
+        except Exception:  # pragma: no cover - exercised only without numba
+            pass
+    return Kernels("fallback", _NUMPY_TABLE)

@@ -10,8 +10,14 @@ endpoints:
   JSONL record (problem + task + options);
 * ``POST /v1/solve_batch`` — a list of records, routed through
   :func:`~repro.api.solve_many`'s ``batch_small`` forest dispatch;
-* ``GET /healthz`` — liveness + version + registered tasks;
+* ``GET /healthz`` — liveness + version + backends + registered tasks;
 * ``GET /metrics`` — text exposition of counters/gauges/latency.
+
+Both solve endpoints also accept ``Content-Type:
+application/octet-stream`` bodies carrying the zero-copy binary wire
+format (:mod:`repro.io.wire`): one buffer for ``/v1/solve``,
+length-prefixed frames for ``/v1/solve_batch``, with ``task``/``options``
+in the query string.
 
 Robustness is structural, not bolted on:
 
@@ -67,6 +73,8 @@ from .schemas import (
     SolveRequest,
     parse_batch_request,
     parse_solve_request,
+    parse_wire_batch_request,
+    parse_wire_solve_request,
 )
 from .settings import Settings
 
@@ -320,9 +328,13 @@ class ServerApp:
                         "uses_weights": TASKS[name].uses_weights,
                         "summary": TASKS[name].summary}
                  for name in task_names()}
+        from ..backends import BACKEND_NAMES
+        from ..kernels import kernel_status
         return {
             "status": "draining" if self._draining else "ok",
             "version": __version__,
+            "backends": {"available": list(BACKEND_NAMES),
+                         "kernel": kernel_status()},
             "tasks": tasks,
             "jobs": self.pool.jobs,
             "queue": {"limit": self.settings.queue_limit,
@@ -394,13 +406,18 @@ class ServerApp:
     # ------------------------------------------------------------------ #
 
     async def dispatch(self, method: str, target: str,
-                       body: bytes = b"") -> Response:
+                       body: bytes = b"",
+                       headers: Optional[Dict[str, str]] = None) -> Response:
         """Route one request; always returns a :class:`Response`.
 
         This is the whole app without the socket: tests drive it
         in-process, :meth:`handle_connection` drives it from the wire.
+        A ``Content-Type: application/octet-stream`` header switches the
+        solve endpoints to the binary wire-format body.
         """
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
+        binary_body = (headers or {}).get(
+            "content-type", "").startswith("application/octet-stream")
         started = time.perf_counter()
         task_label = {"/healthz": "healthz", "/metrics": "metrics",
                       "/v1/solve_batch": "solve_batch"}.get(path, "-")
@@ -439,7 +456,8 @@ class ServerApp:
                 if self._draining:   # even cache hits refuse during drain
                     raise HTTPError(503, "server is draining; "
                                          "not accepting work")
-                req = parse_solve_request(_parse_json_body(body))
+                req = (parse_wire_solve_request(body, query) if binary_body
+                       else parse_solve_request(_parse_json_body(body)))
                 task_label = req.task
                 solution = await self._handle_solve(req)
                 solution.provenance.setdefault(
@@ -448,9 +466,13 @@ class ServerApp:
             elif path == "/v1/solve_batch":
                 if method != "POST":
                     raise HTTPError(405, "use POST")
-                requests = parse_batch_request(
-                    _parse_json_body(body),
-                    max_batch=self.settings.max_batch)
+                if binary_body:
+                    requests = parse_wire_batch_request(
+                        body, query, max_batch=self.settings.max_batch)
+                else:
+                    requests = parse_batch_request(
+                        _parse_json_body(body),
+                        max_batch=self.settings.max_batch)
                 solutions = await self._admitted_call(
                     self._batch_worker, requests, use_pool=False)
                 response = _json_response(
@@ -512,7 +534,8 @@ class ServerApp:
                 rid = new_request_id()
                 token = request_id_var.set(rid)
                 try:
-                    response = await self.dispatch(method, target, body)
+                    response = await self.dispatch(method, target, body,
+                                                   headers)
                 finally:
                     request_id_var.reset(token)
                 response.headers.setdefault("X-Request-Id", rid)

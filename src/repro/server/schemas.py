@@ -21,6 +21,15 @@ where ``task``/``options`` are defaults for records that do not carry
 their own, and each entry of ``problems`` may be a full record or a bare
 problem value.
 
+Both endpoints also negotiate the zero-copy binary wire format: a body
+sent with ``Content-Type: application/octet-stream`` is one
+:mod:`repro.io.wire` buffer (``/v1/solve``) or a stream of
+length-prefixed wire frames (``/v1/solve_batch``), with ``task`` and a
+JSON-encoded ``options`` object carried in the query string since a
+binary body has nowhere to put them.  Wire bytes are decoded entirely
+in memory — they never touch the server's filesystem, preserving the
+no-file-paths stance above.
+
 Validation failures never raise bare exceptions at the caller: they
 collect into a :class:`SchemaError` holding *field-level* records
 (``[{"field": "options.backend", "error": "..."}]``) that the app layer
@@ -29,15 +38,19 @@ returns as a structured ``400`` body.
 
 from __future__ import annotations
 
+import io
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from ..api import SolveOptions, as_problem, task_names
 from ..api.adapters import Problem
 
 __all__ = ["SchemaError", "SolveRequest", "parse_solve_request",
-           "parse_batch_request"]
+           "parse_batch_request", "parse_wire_solve_request",
+           "parse_wire_batch_request"]
 
 #: options fields a request may set.  ``cache`` (a live object) and
 #: ``batch_small`` (routing policy) belong to the *server's* settings, not
@@ -212,6 +225,111 @@ def parse_batch_request(data: Any, *, max_batch: int) -> List[SolveRequest]:
                 record, prefix=f"problems[{i}]",
                 default_task=default_task,
                 default_options=default_options))
+        except SchemaError as exc:
+            errors.extend(exc.errors)
+    if errors:
+        raise SchemaError(errors)
+    return requests
+
+
+# --------------------------------------------------------------------------- #
+# binary wire bodies (Content-Type: application/octet-stream)
+# --------------------------------------------------------------------------- #
+
+def _parse_query_defaults(query: str) -> Tuple[str, SolveOptions]:
+    """``task``/``options`` from the query string of a binary request."""
+    errors: List[Dict[str, str]] = []
+    params: Dict[str, str] = {}
+    for name, values in parse_qs(query, keep_blank_values=True).items():
+        if name not in ("task", "options"):
+            errors.append({"field": f"?{name}",
+                           "error": "unknown query parameter; binary "
+                                    "requests accept ?task= and ?options="})
+        else:
+            params[name] = values[-1]
+    task = "path_cover"
+    if "task" in params:
+        try:
+            task = _parse_task(params["task"], "?task")
+        except SchemaError as exc:
+            errors.extend(exc.errors)
+    options = SolveOptions()
+    if "options" in params:
+        try:
+            data = json.loads(params["options"])
+        except json.JSONDecodeError as exc:
+            errors.append({"field": "?options",
+                           "error": f"must be a JSON object of SolveOptions "
+                                    f"fields: {exc}"})
+        else:
+            try:
+                options = _parse_options(data, "?options")
+            except SchemaError as exc:
+                errors.extend(exc.errors)
+    if errors:
+        raise SchemaError(errors)
+    return task, options
+
+
+def _wire_problem(payload: bytes, task: str, field_name: str) -> Problem:
+    """Adapt one wire buffer; forests are a batch shape, not a solve."""
+    problem = _parse_problem(payload, task, field_name)
+    from ..cograph.forest import FlatForest
+    if isinstance(problem.tree, FlatForest):
+        raise SchemaError.single(
+            field_name, "a forest wire container holds many instances; "
+                        "send it to /v1/solve_batch as framed trees, or "
+                        "one tree per request here")
+    return problem
+
+
+def parse_wire_solve_request(body: bytes, query: str = "") -> SolveRequest:
+    """Validate one binary ``/v1/solve`` body (a single wire buffer).
+
+    ``task``/``options`` ride in the query string (``?task=...&options=
+    <json>``) since an octet-stream body has no envelope.  The buffer is
+    decoded entirely in memory; it is never written to disk.
+    """
+    task, options = _parse_query_defaults(query)
+    if not body:
+        raise SchemaError.single(
+            "body", "request body is required (a repro wire buffer; see "
+                    "repro.io.wire.to_bytes)")
+    problem = _wire_problem(body, task, "body")
+    return SolveRequest(problem=problem, task=task, options=options)
+
+
+def parse_wire_batch_request(body: bytes, query: str = "", *,
+                             max_batch: int) -> List[SolveRequest]:
+    """Validate one binary ``/v1/solve_batch`` body.
+
+    The body is a stream of length-prefixed wire frames (the exact bytes
+    ``solve --stream --format binary`` reads), one instance per frame,
+    sharing the query-string ``task``/``options`` defaults.
+    """
+    task, options = _parse_query_defaults(query)
+    if not body:
+        raise SchemaError.single(
+            "body", "request body is required (length-prefixed repro wire "
+                    "frames; see repro.io.wire.frame)")
+    from ..io.wire import read_frames
+    try:
+        payloads = list(read_frames(io.BytesIO(body)))
+    except ValueError as exc:
+        raise SchemaError.single("body", str(exc)) from None
+    if not payloads:
+        raise SchemaError.single("body", "must contain at least one frame")
+    if len(payloads) > max_batch:
+        raise SchemaError.single(
+            "body", f"too many frames ({len(payloads)} > "
+                    f"max_batch={max_batch})")
+    errors: List[Dict[str, str]] = []
+    requests: List[SolveRequest] = []
+    for i, payload in enumerate(payloads):
+        try:
+            requests.append(SolveRequest(
+                problem=_wire_problem(payload, task, f"frames[{i}]"),
+                task=task, options=options))
         except SchemaError as exc:
             errors.extend(exc.errors)
     if errors:

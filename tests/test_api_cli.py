@@ -234,13 +234,19 @@ def test_version_flag_prints_the_package_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
-    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+    out = capsys.readouterr().out.strip()
+    # "repro 1.9.0 (backends: pram, fast, kernel[jit|fallback])" — the
+    # suffix reports which kernel tier the numba probe selected
+    assert out.startswith(f"repro {__version__} (backends: pram, fast, "
+                          "kernel[")
+    assert out.endswith("])")
 
 
 def test_version_subcommand_matches_the_flag(capsys):
     from repro._version import __version__
     assert main(["version"]) == 0
-    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+    out = capsys.readouterr().out.strip()
+    assert out.startswith(f"repro {__version__} (backends: ")
 
 
 def test_stream_on_error_emit_interleaves_error_records(monkeypatch,

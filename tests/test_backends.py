@@ -96,7 +96,7 @@ class TestContextResolution:
         assert FastBackend().machine is None
         assert FastBackend().report() is None
         assert isinstance(PRAMBackend(), ExecutionContext)
-        assert set(BACKEND_NAMES) == {"pram", "fast"}
+        assert set(BACKEND_NAMES) == {"pram", "fast", "kernel"}
 
     def test_pram_backend_for_input_size(self):
         ctx = PRAMBackend.for_input_size(1024)

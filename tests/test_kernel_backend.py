@@ -1,0 +1,262 @@
+"""The compiled-kernel execution tier (``repro.kernels`` +
+:class:`~repro.backends.kernel_backend.KernelBackend`).
+
+Three layers of guarantees:
+
+* **registration** — ``"kernel"`` is a first-class backend name through
+  ``make_backend`` / :class:`~repro.api.SolveOptions` / the CLI;
+* **primitive semantics** — every kernel replicates the exact NumPy
+  expression it fused (``ufunc.reduceat`` over the same segments,
+  including the degenerate empty-segment rule), property-tested across
+  ops, dtypes and adversarial segment shapes;
+* **end-to-end parity** — bit-identical answers against the fast and PRAM
+  backends on every registered task, across generator families and the
+  forest batching route.
+
+The whole file runs in either kernel mode: with numba installed the table
+is jitted, without it the NumPy fallback tier answers — the assertions
+are mode-independent by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SolveOptions, as_problem, solve, solve_many, task_names
+from repro.api.registry import TASKS
+from repro.backends import (
+    BACKEND_NAMES,
+    FastBackend,
+    KernelBackend,
+    make_backend,
+)
+from repro.cograph import (
+    as_flat_cotree,
+    balanced_cotree,
+    caterpillar_cotree,
+    clique,
+    independent_set,
+    random_cotree,
+    threshold_cograph,
+)
+from repro.io.wire import from_bytes, to_bytes
+from repro.kernels import KERNELS, NUMBA_AVAILABLE, kernel_status
+from repro.__main__ import main
+
+OPS = ("sum", "max", "min", "prod")
+_UFUNC = {"sum": np.add, "max": np.maximum, "min": np.minimum,
+          "prod": np.multiply}
+
+
+# --------------------------------------------------------------------------- #
+# registration
+# --------------------------------------------------------------------------- #
+
+class TestRegistration:
+    def test_kernel_is_a_registered_backend(self):
+        assert "kernel" in BACKEND_NAMES
+        backend = make_backend("kernel")
+        assert isinstance(backend, KernelBackend)
+        assert backend.name == "kernel"
+        assert backend.simulates is False
+        assert isinstance(backend, FastBackend)   # inherits the fast tier
+
+    def test_kernel_backend_takes_no_configuration(self):
+        with pytest.raises(TypeError, match="no configuration"):
+            make_backend("kernel", processors=4)
+
+    def test_backend_exposes_the_kernel_table(self):
+        backend = KernelBackend()
+        assert backend.kernels is KERNELS
+        assert backend.kernel_mode in ("jit", "fallback")
+
+    def test_status_report_is_consistent(self):
+        status = kernel_status()
+        assert set(status) == {"numba_available", "numba_version", "mode"}
+        assert status["numba_available"] is NUMBA_AVAILABLE
+        assert status["mode"] == KERNELS.mode
+        if not NUMBA_AVAILABLE:
+            assert status["mode"] == "fallback"
+            assert status["numba_version"] is None
+
+    def test_solve_options_accept_kernel(self):
+        assert SolveOptions(backend="kernel").backend == "kernel"
+        # PRAM-only knobs still refuse to combine with it
+        with pytest.raises(ValueError, match="PRAM-only"):
+            SolveOptions(backend="kernel", num_processors=4)
+
+    def test_cli_accepts_kernel_backend(self, capsys):
+        assert main(["solve", "(0 + (1 * 2))", "--backend", "kernel"]) == 0
+
+    def test_version_reports_live_backends(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert "backends:" in out and "kernel[" in out
+        expected = "jit" if NUMBA_AVAILABLE else "fallback"
+        assert f"kernel[{expected}" in out
+
+
+# --------------------------------------------------------------------------- #
+# primitive semantics vs the NumPy expressions they fuse
+# --------------------------------------------------------------------------- #
+
+def _random_segments(rng, n_values, n_segments):
+    """Random offsets over ``n_values`` including empty segments."""
+    cuts = np.sort(rng.integers(0, n_values, size=n_segments - 1))
+    return np.concatenate(([0], cuts, [n_values])).astype(np.int64)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("op", OPS)
+    @pytest.mark.parametrize("dtype", [np.int64, np.float64])
+    def test_segment_reduce_matches_reduceat(self, op, dtype):
+        rng = np.random.default_rng(hash((op, str(dtype))) % 2 ** 32)
+        for trial in range(10):
+            n = int(rng.integers(1, 200))
+            values = rng.integers(1, 7, size=n).astype(dtype)
+            offsets = _random_segments(rng, n, int(rng.integers(2, 20)))
+            got = KERNELS.segment_reduce(values, offsets, op)
+            want = _UFUNC[op].reduceat(values, offsets[:-1])
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_gather_reduce_matches_indexed_reduceat(self, op):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 100, size=50).astype(np.int64)
+        index = rng.integers(0, 50, size=120).astype(np.int64)
+        offsets = _random_segments(rng, 120, 9)
+        got = KERNELS.gather_reduce(values, index, offsets, op)
+        want = _UFUNC[op].reduceat(values[index], offsets[:-1])
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_level_gather_reduce_matches_per_node_loop(self, op):
+        tree = as_flat_cotree(random_cotree(150, seed=13))
+        internal = np.flatnonzero(
+            tree.child_offset[1:] > tree.child_offset[:-1]).astype(np.int64)
+        values = np.random.default_rng(5).integers(
+            1, 9, size=tree.num_nodes).astype(np.int64)
+        got = KERNELS.level_gather_reduce(
+            values, tree.child_offset, tree.child_index, internal, op)
+        want = np.array([
+            _UFUNC[op].reduce(
+                values[tree.child_index[tree.child_offset[u]:
+                                        tree.child_offset[u + 1]]])
+            for u in internal])
+        np.testing.assert_array_equal(got, want)
+
+    def test_invert_permutation(self):
+        rng = np.random.default_rng(2)
+        for n in (0, 1, 17, 400):
+            perm = rng.permutation(n).astype(np.int64)
+            got = KERNELS.invert_permutation(perm)
+            assert np.array_equal(perm[got], np.arange(n))
+
+    def test_segment_arange(self):
+        counts = np.array([3, 0, 1, 5, 0, 2], dtype=np.int64)
+        got = KERNELS.segment_arange(counts)
+        want = np.concatenate([np.arange(c) for c in counts])
+        np.testing.assert_array_equal(got, want)
+
+    def test_leftist_swap_matches_vectorized_swap(self):
+        rng = np.random.default_rng(21)
+        n = 60
+        left = rng.integers(0, n, size=n).astype(np.int64)
+        right = rng.integers(0, n, size=n).astype(np.int64)
+        leaves = rng.integers(1, 40, size=n).astype(np.int64)
+        internal = np.flatnonzero(rng.random(n) < 0.6).astype(np.int64)
+        l2, r2 = left.copy(), right.copy()
+        swaps = KERNELS.leftist_swap(left, right, leaves, internal)
+        viol = internal[leaves[l2[internal]] < leaves[r2[internal]]]
+        l2[viol], r2[viol] = r2[viol], l2[viol].copy()
+        assert swaps == len(viol)
+        np.testing.assert_array_equal(left, l2)
+        np.testing.assert_array_equal(right, r2)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end parity: kernel == fast == pram, bit for bit
+# --------------------------------------------------------------------------- #
+
+def _instances():
+    yield "caterpillar", caterpillar_cotree(60)
+    yield "balanced", balanced_cotree(2, 6)
+    yield "clique", clique(12)
+    yield "independent", independent_set(9)
+    yield "threshold", threshold_cograph([1, 0, 1, 1, 0, 0, 1])
+    for seed in range(4):
+        yield f"random-{seed}", random_cotree(80, seed=seed)
+
+
+def _answers(problem, task, backend, **extra):
+    if TASKS[task].uses_weights and "weights" not in extra:
+        n = problem.num_vertices if hasattr(problem, "num_vertices") \
+            else len(problem)
+        extra["weights"] = [(i * 7 + 3) % 11 for i in range(n)]
+    return solve(problem, task,
+                 options=SolveOptions(backend=backend, **extra)).answer
+
+
+class TestEndToEndParity:
+    # every cotree task that runs the solver pipeline ("recognition"
+    # rejects backend options: it never touches a backend)
+    @pytest.mark.parametrize("task", [t for t in task_names()
+                                      if TASKS[t].input_kind == "cotree"
+                                      and t != "recognition"])
+    def test_every_cotree_task_every_family(self, task):
+        for label, tree in _instances():
+            expect = _answers(tree, task, "fast")
+            assert _answers(tree, task, "kernel") == expect, (task, label)
+
+    @pytest.mark.parametrize("task", ["path_cover", "path_cover_size",
+                                      "max_clique", "chromatic_number"])
+    def test_kernel_matches_pram_too(self, task):
+        tree = random_cotree(70, seed=42)
+        assert (_answers(tree, task, "kernel")
+                == _answers(tree, task, "pram"))
+
+    def test_bits_task(self):
+        bits = [1, 0, 1, 1, 0]
+        assert (_answers(bits, "lower_bound", "kernel")
+                == _answers(bits, "lower_bound", "fast"))
+
+    def test_forest_route_parity(self):
+        trees = [random_cotree(n, seed=n) for n in (3, 5, 8, 13, 21)]
+        fast = solve_many(trees, "path_cover_size",
+                          options=SolveOptions(backend="fast",
+                                               batch_small=50))
+        kern = solve_many(trees, "path_cover_size",
+                          options=SolveOptions(backend="kernel",
+                                               batch_small=50))
+        assert [s.answer for s in kern] == [s.answer for s in fast]
+
+    def test_wire_loaded_trees_solve_on_kernel_backend(self):
+        # read-only zero-copy views straight into the kernel hot path
+        tree = as_flat_cotree(random_cotree(90, seed=3))
+        loaded = from_bytes(to_bytes(tree))
+        assert loaded.pre_validated is True
+        assert (_answers(loaded, "path_cover", "kernel")
+                == _answers(tree, "path_cover", "fast"))
+
+    def test_solution_names_the_backend(self):
+        sol = solve(random_cotree(20, seed=1), "path_cover_size",
+                    options=SolveOptions(backend="kernel"))
+        assert sol.to_json_dict()["backend"] == "kernel"
+
+
+# --------------------------------------------------------------------------- #
+# pre_validated: trusted routes skip the redundant re-scan
+# --------------------------------------------------------------------------- #
+
+class TestPreValidated:
+    def test_fresh_trees_are_not_pre_validated(self):
+        assert as_flat_cotree(clique(4)).pre_validated is False
+
+    def test_canonicalize_marks_its_output(self):
+        tree = as_flat_cotree(random_cotree(30, seed=7))
+        assert tree.canonicalize().pre_validated is True
+
+    def test_wire_load_marks_its_output(self):
+        tree = as_flat_cotree(random_cotree(30, seed=8))
+        assert from_bytes(to_bytes(tree)).pre_validated is True

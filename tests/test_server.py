@@ -22,6 +22,7 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.parse
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 
@@ -30,8 +31,10 @@ import pytest
 from repro._version import __version__
 from repro.api import SolutionCache, SolveOptions, as_problem, solve, \
     task_names
-from repro.cograph import random_cotree
+from repro.cograph import as_flat_cotree, pack, random_cotree
 from repro.io import cotree_to_text
+from repro.io.wire import frame as wire_frame
+from repro.io.wire import to_bytes as wire_to_bytes
 from repro.server import (
     HTTPError,
     LatencyHistogram,
@@ -42,6 +45,10 @@ from repro.server import (
     Settings,
     parse_batch_request,
     parse_solve_request,
+)
+from repro.server.schemas import (
+    parse_wire_batch_request,
+    parse_wire_solve_request,
 )
 from repro.server.logging_config import (
     JsonFormatter,
@@ -306,6 +313,63 @@ class TestSchemas:
             parse_batch_request({"problems": SMALL}, max_batch=10)
 
 
+def wire_buf(text=SMALL):
+    return wire_to_bytes(as_flat_cotree(as_problem(text).pipeline_tree()))
+
+
+class TestWireSchemas:
+    def test_solve_buffer_with_query_defaults(self):
+        req = parse_wire_solve_request(wire_buf())
+        assert req.task == "path_cover"
+        assert req.problem.source_format == "wire"
+
+    def test_query_task_and_options(self):
+        query = "task=max_clique&options=" + urllib.parse.quote(
+            json.dumps({"backend": "kernel"}))
+        req = parse_wire_solve_request(wire_buf(), query)
+        assert req.task == "max_clique"
+        assert req.options.backend == "kernel"
+
+    def test_bad_query_parameters_are_schema_errors(self):
+        with pytest.raises(SchemaError, match="unknown query parameter"):
+            parse_wire_solve_request(wire_buf(), "bogus=1")
+        with pytest.raises(SchemaError, match="unknown task"):
+            parse_wire_solve_request(wire_buf(), "task=nope")
+        with pytest.raises(SchemaError, match="JSON object"):
+            parse_wire_solve_request(wire_buf(), "options={broken")
+        with pytest.raises(SchemaError, match="server configuration"):
+            parse_wire_solve_request(
+                wire_buf(), "options=" + urllib.parse.quote(
+                    json.dumps({"batch_small": 4})))
+
+    def test_corrupt_and_empty_buffers_are_schema_errors(self):
+        with pytest.raises(SchemaError, match="invalid wire buffer"):
+            parse_wire_solve_request(b"garbage")
+        with pytest.raises(SchemaError, match="body"):
+            parse_wire_solve_request(b"")
+
+    def test_forest_container_refused_on_solve(self):
+        forest = pack([as_flat_cotree(as_problem(SMALL).pipeline_tree())])
+        with pytest.raises(SchemaError, match="solve_batch"):
+            parse_wire_solve_request(wire_to_bytes(forest))
+
+    def test_batch_frames(self):
+        body = wire_frame(wire_buf()) + wire_frame(wire_buf("(0 * 1)"))
+        requests = parse_wire_batch_request(body, "task=max_clique",
+                                            max_batch=10)
+        assert len(requests) == 2
+        assert all(r.task == "max_clique" for r in requests)
+
+    def test_batch_truncated_frame_and_limits(self):
+        with pytest.raises(SchemaError, match="truncated frame"):
+            parse_wire_batch_request(wire_frame(wire_buf())[:-3],
+                                     max_batch=10)
+        with pytest.raises(SchemaError, match="max_batch"):
+            parse_wire_batch_request(wire_frame(wire_buf()) * 3, max_batch=2)
+        with pytest.raises(SchemaError, match="body"):
+            parse_wire_batch_request(b"", max_batch=2)
+
+
 # --------------------------------------------------------------------------- #
 # the app, dispatched in-process (no socket)
 # --------------------------------------------------------------------------- #
@@ -397,6 +461,84 @@ class TestDispatch:
         assert missing.status == 404
         assert (h_post.status, s_get.status, m_delete.status) \
             == (405, 405, 405)
+
+
+class TestBinaryDispatch:
+    """``Content-Type: application/octet-stream`` bodies on the solve
+    endpoints: zero-copy wire buffers in, the same JSON solutions out."""
+
+    OCTET = {"content-type": "application/octet-stream"}
+
+    def test_binary_solve_matches_json_solve_byte_for_byte(self):
+        async def scenario(app):
+            as_json = await app.dispatch("POST", "/v1/solve", solve_body())
+            as_wire = await app.dispatch("POST", "/v1/solve", wire_buf(),
+                                         self.OCTET)
+            return as_json, as_wire
+
+        as_json, as_wire = run_app(scenario, cache_size=0)
+        assert as_wire.status == 200
+        assert as_wire.json()["answer"] == as_json.json()["answer"]
+
+    def test_binary_solve_with_task_and_options_in_query(self):
+        async def scenario(app):
+            return await app.dispatch(
+                "POST", "/v1/solve?task=max_clique&options=" +
+                urllib.parse.quote(json.dumps({"backend": "kernel"})),
+                wire_buf(), self.OCTET)
+
+        response = run_app(scenario)
+        assert response.status == 200
+        data = response.json()
+        assert data["backend"] == "kernel"
+        assert data["answer"]["size"] == 2
+
+    def test_binary_batch_matches_json_batch(self):
+        texts = [SMALL, "(0 * 1)", "((0 + 1) * (2 + 3))"]
+
+        async def scenario(app):
+            as_json = await app.dispatch(
+                "POST", "/v1/solve_batch",
+                json.dumps({"problems": texts}).encode())
+            blob = b"".join(wire_frame(wire_buf(t)) for t in texts)
+            as_wire = await app.dispatch("POST", "/v1/solve_batch", blob,
+                                         self.OCTET)
+            return as_json, as_wire
+
+        as_json, as_wire = run_app(scenario, cache_size=0)
+        assert as_wire.status == 200
+        assert ([s["answer"] for s in as_wire.json()["solutions"]]
+                == [s["answer"] for s in as_json.json()["solutions"]])
+
+    def test_binary_errors_are_structured_400s(self):
+        async def scenario(app):
+            corrupt = await app.dispatch("POST", "/v1/solve", b"garbage",
+                                         self.OCTET)
+            bad_query = await app.dispatch("POST", "/v1/solve?nope=1",
+                                           wire_buf(), self.OCTET)
+            return corrupt, bad_query
+
+        corrupt, bad_query = run_app(scenario)
+        assert corrupt.status == 400
+        assert "invalid wire buffer" in json.dumps(corrupt.json())
+        assert bad_query.status == 400
+        assert "unknown query parameter" in json.dumps(bad_query.json())
+
+    def test_json_bodies_ignore_the_header_entirely(self):
+        async def scenario(app):
+            return await app.dispatch(
+                "POST", "/v1/solve", solve_body(),
+                {"content-type": "application/json"})
+
+        assert run_app(scenario).status == 200
+
+    def test_healthz_reports_backends(self):
+        async def scenario(app):
+            return await app.dispatch("GET", "/healthz")
+
+        data = run_app(scenario).json()
+        assert data["backends"]["available"] == ["pram", "fast", "kernel"]
+        assert data["backends"]["kernel"]["mode"] in ("jit", "fallback")
 
     def test_batch_routes_through_the_forest_sweep(self):
         async def scenario(app):
